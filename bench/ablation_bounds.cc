@@ -1,0 +1,129 @@
+// Ablation studies for the design choices called out in DESIGN.md:
+//   (a) stationary upper bound (Eq. 7) vs exact symmetric tracking of
+//       sum P^2 — how loose is the bound at finite t;
+//   (b) lazy random walk (fault tolerance) — rounds needed to reach the
+//       same epsilon as the fault-free walk;
+//   (c) delta budget split between composition slack and report-size
+//       concentration.
+
+//   (d) closed-form Theorem 5.3 vs the data-dependent Monte-Carlo
+//       accountant (core/accounting.h) that composes per-slot epsilons from
+//       observed report sizes.
+
+#include <cstdio>
+
+#include "core/accounting.h"
+#include "dp/amplification.h"
+#include "graph/generators.h"
+#include "graph/spectral.h"
+#include "graph/walk.h"
+#include "util/table.h"
+
+using namespace netshuffle;
+
+int main() {
+  const size_t n = 5000, k = 8;
+  const double eps0 = 1.0;
+  Rng rng(2022);
+  Graph g = MakeRandomRegular(n, k, &rng);
+  const double gap = EstimateSpectralGap(g).gap;
+
+  // (a) Bound vs exact.
+  std::printf("Ablation (a): Eq.7 bound vs exact sum P^2 (n=%zu, k=%zu, "
+              "alpha=%.4f)\n\n", n, k, gap);
+  Table a({"t", "exact sumP^2", "bound sumP^2", "eps exact", "eps bound",
+           "bound/exact eps"});
+  PositionDistribution d(&g, 0);
+  for (size_t t : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    while (d.time() < t) d.Step();
+    NetworkShufflingBoundInput exact_in, bound_in;
+    exact_in.epsilon0 = bound_in.epsilon0 = eps0;
+    exact_in.n = bound_in.n = n;
+    exact_in.delta = bound_in.delta = 0.5e-6;
+    exact_in.delta2 = bound_in.delta2 = 0.5e-6;
+    exact_in.sum_p_squares = d.SumSquares();
+    exact_in.rho_star = d.RhoStar();
+    bound_in.sum_p_squares = SumSquaresBound(1.0 / n, gap, t);
+    const double eps_exact = EpsilonAllSymmetric(exact_in);
+    const double eps_bound = EpsilonAllStationary(bound_in);
+    a.NewRow()
+        .AddInt(static_cast<long long>(t))
+        .AddSci(exact_in.sum_p_squares, 3)
+        .AddSci(bound_in.sum_p_squares, 3)
+        .AddDouble(eps_exact, 4)
+        .AddDouble(eps_bound, 4)
+        .AddDouble(eps_bound / eps_exact, 2);
+  }
+  a.Print();
+
+  // (b) Lazy walk: effective rounds to reach the fault-free epsilon.
+  std::printf("\nAblation (b): lazy walk (fault model) — rounds needed for "
+              "sum P^2 <= 1.05/n\n\n");
+  Table b({"laziness", "rounds needed", "overhead vs beta=0"});
+  size_t base_rounds = 0;
+  for (double beta : {0.0, 0.2, 0.4, 0.6}) {
+    PositionDistribution lazy(&g, 0);
+    size_t rounds = 0;
+    while (lazy.SumSquares() > 1.05 / static_cast<double>(n) &&
+           rounds < 100000) {
+      lazy.LazyStep(beta);
+      ++rounds;
+    }
+    if (beta == 0.0) base_rounds = rounds;
+    b.NewRow()
+        .AddDouble(beta, 1)
+        .AddInt(static_cast<long long>(rounds))
+        .AddDouble(static_cast<double>(rounds) /
+                       static_cast<double>(base_rounds),
+                   2);
+  }
+  b.Print();
+  std::printf("(expected: overhead ~ 1/(1-beta))\n");
+
+  // (c) Delta split.
+  std::printf("\nAblation (c): splitting the delta budget (total 1e-6) "
+              "between delta (composition) and delta2 (report sizes)\n\n");
+  Table c({"delta share", "delta", "delta2", "eps (Thm 5.3)"});
+  for (double share : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    NetworkShufflingBoundInput in;
+    in.epsilon0 = eps0;
+    in.n = n;
+    in.sum_p_squares = 1.0 / static_cast<double>(n);
+    in.delta = share * 1e-6;
+    in.delta2 = (1.0 - share) * 1e-6;
+    c.NewRow()
+        .AddDouble(share, 1)
+        .AddSci(in.delta, 1)
+        .AddSci(in.delta2, 1)
+        .AddDouble(EpsilonAllStationary(in), 4);
+  }
+  c.Print();
+  std::printf("(expected: a flat optimum — the split matters little, "
+              "justifying the 50/50 default)\n");
+
+  // (d) Closed form vs data-dependent Monte-Carlo accounting.
+  std::printf("\nAblation (d): Theorem 5.3 closed form vs Monte-Carlo "
+              "per-slot composition (40 trials, 95th pct)\n\n");
+  Table m({"t", "eps closed form", "eps MC mean", "eps MC p95",
+           "closed/p95"});
+  for (size_t t : {4u, 8u, 16u, 32u}) {
+    NetworkShufflingBoundInput in;
+    in.epsilon0 = eps0;
+    in.n = n;
+    in.sum_p_squares = SumSquaresBound(1.0 / n, gap, t);
+    in.delta = in.delta2 = 0.5e-6;
+    const double closed = EpsilonAllStationary(in);
+    const auto mc = MonteCarloEpsilonAll(g, t, eps0, 1e-6, 40, 0.95, 99);
+    m.NewRow()
+        .AddInt(static_cast<long long>(t))
+        .AddDouble(closed, 4)
+        .AddDouble(mc.epsilon_mean, 4)
+        .AddDouble(mc.epsilon_quantile, 4)
+        .AddDouble(closed / mc.epsilon_quantile, 2);
+  }
+  m.Print();
+  std::printf("(expected: the data-dependent accountant certifies a "
+              "noticeably smaller epsilon —\nthe paper's 'accounting may be "
+              "further tightened' direction)\n");
+  return 0;
+}

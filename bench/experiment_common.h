@@ -1,0 +1,50 @@
+// Shared helpers for the experiment harnesses (bench/*.cc).
+
+#ifndef NETSHUFFLE_BENCH_EXPERIMENT_COMMON_H_
+#define NETSHUFFLE_BENCH_EXPERIMENT_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/datasets.h"
+#include "graph/io.h"
+#include "graph/walk.h"
+
+namespace netshuffle {
+
+/// Scale override for quick runs: NS_SCALE=0.1 shrinks every dataset.
+inline double EnvScale() {
+  const char* s = std::getenv("NS_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::strtod(s, nullptr);
+  return (v > 0.0 && v <= 1.0) ? v : 1.0;
+}
+
+/// Builds (or reloads from an on-disk cache) a synthetic dataset.  The cache
+/// makes repeated bench invocations fast; delete *.edges files to refresh.
+inline SyntheticDataset LoadOrMakeDataset(const std::string& name,
+                                          uint64_t seed, double scale) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "netshuffle_%s_s%.3f_seed%llu.edges",
+                name.c_str(), scale, static_cast<unsigned long long>(seed));
+  const std::string path = buf;
+  Graph cached;
+  if (LoadEdgeList(path, &cached) && cached.num_nodes() > 0) {
+    SyntheticDataset ds;
+    ds.name = name;
+    ds.graph = std::move(cached);
+    const auto& spec = FindSpec(name);
+    ds.target_n = static_cast<size_t>(scale * spec.n);
+    ds.target_gamma = spec.gamma;
+    ds.actual_gamma = StationaryGamma(ds.graph);
+    return ds;
+  }
+  SyntheticDataset ds = MakeDatasetByName(name, seed, scale);
+  SaveEdgeList(ds.graph, path);
+  return ds;
+}
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_BENCH_EXPERIMENT_COMMON_H_

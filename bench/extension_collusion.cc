@@ -1,0 +1,67 @@
+// Extension study (paper Section 4.5, "Collusion"): how colluding users
+// degrade network shuffling's anonymity.
+//
+// For a victim report on a random 8-regular graph we sweep the colluder
+// fraction and report (a) the probability the report is sighted within the
+// mixing time and (b) the anonymity-set shrinkage of unsighted reports
+// (inflation of sum P^2 feeding the amplification theorems), plus the
+// resulting central epsilon for unsighted reports.
+
+#include <cstdio>
+
+#include "dp/amplification.h"
+#include "graph/generators.h"
+#include "graph/spectral.h"
+#include "graph/walk.h"
+#include "shuffle/adversary.h"
+#include "util/table.h"
+
+using namespace netshuffle;
+
+int main() {
+  const size_t n = 2000, k = 8;
+  const double eps0 = 1.0;
+  Rng rng(2022);
+  Graph g = MakeRandomRegular(n, k, &rng);
+  const double gap = EstimateSpectralGap(g).gap;
+  const size_t t = MixingTime(gap, n);
+
+  std::printf(
+      "Collusion extension: random %zu-regular graph, n=%zu, t=t_mix=%zu, "
+      "eps0=%.1f\n\n",
+      k, n, t, eps0);
+
+  Table table({"colluder %", "sighting prob", "sumP^2 inflation",
+               "eps (unsighted)", "eps (no collusion)"});
+  NetworkShufflingBoundInput base;
+  base.epsilon0 = eps0;
+  base.n = n;
+  base.sum_p_squares = SumSquaresBound(1.0 / n, gap, t);
+  base.delta = base.delta2 = 0.5e-6;
+  const double eps_clean = EpsilonAllStationary(base);
+
+  Rng crng(7);
+  for (double frac : {0.0, 0.01, 0.05, 0.10, 0.25, 0.50}) {
+    const size_t count = static_cast<size_t>(frac * n);
+    const auto colluders = SampleColluders(g, count, /*victim=*/0, &crng);
+    const auto a = AnalyzeCollusion(g, colluders, /*origin=*/0, t);
+    NetworkShufflingBoundInput in = base;
+    in.sum_p_squares = base.sum_p_squares * a.sum_squares_inflation;
+    table.NewRow()
+        .AddDouble(100.0 * frac, 0)
+        .AddDouble(a.sighting_probability, 4)
+        .AddDouble(a.sum_squares_inflation, 3)
+        .AddDouble(EpsilonAllStationary(in), 4)
+        .AddDouble(eps_clean, 4);
+  }
+  table.Print();
+
+  std::printf(
+      "\nReading: with f colluders the victim's report is sighted with "
+      "probability ~ 1-(1-f)^t (near 1 at the\nmixing time even for small "
+      "f) — unsighted reports keep most of their amplification, but the "
+      "sighting\nprobability itself is the dominant risk, supporting the "
+      "paper's non-collusion assumption and its\npointer to pseudo-random "
+      "peer selection / collusion detection as mitigations.\n");
+  return 0;
+}

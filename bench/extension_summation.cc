@@ -1,0 +1,61 @@
+// Extension study (paper §1, motivation): the sqrt(n) error gap of private
+// real summation between the local and central models, and how much of it
+// network shuffling recovers by letting users randomize with the larger
+// eps0 that amplifies down to the same central target.
+
+#include <cmath>
+#include <cstdio>
+
+#include "estimation/summation.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace netshuffle;
+
+int main() {
+  const double target_eps = 0.5;
+  const double delta = 0.5e-6;
+  const size_t kTrials = 400;
+
+  std::printf(
+      "Summation-gap extension: RMSE of private real summation at a fixed "
+      "central target eps=%.1f\n(x_i in [0,1], half ones; %zu trials; "
+      "shuffled column uses the inverse accountant's eps0 on a\nregular "
+      "graph at mixing time)\n\n",
+      target_eps, kTrials);
+
+  Table t({"n", "central RMSE", "local RMSE", "local/central",
+           "sqrt(n)", "eps0 (shuffled)", "shuffled RMSE",
+           "gap recovered"});
+  Rng rng(2022);
+  for (size_t n : {size_t{1000}, size_t{10000}, size_t{100000}}) {
+    std::vector<double> values(n, 0.0);
+    for (size_t i = 0; i < n / 2; ++i) values[i] = 1.0;
+
+    const double central =
+        SummationRmse(values, target_eps, /*central=*/true, kTrials, &rng);
+    const double local =
+        SummationRmse(values, target_eps, /*central=*/false, kTrials, &rng);
+    const double eps0 = MaxLocalEpsilonForCentralTarget(
+        target_eps, n, 1.0 / static_cast<double>(n), delta, delta);
+    const double shuffled =
+        SummationRmse(values, eps0, /*central=*/false, kTrials, &rng);
+
+    t.NewRow()
+        .AddInt(static_cast<long long>(n))
+        .AddDouble(central, 2)
+        .AddDouble(local, 2)
+        .AddDouble(local / central, 1)
+        .AddDouble(std::sqrt(static_cast<double>(n)), 1)
+        .AddDouble(eps0, 3)
+        .AddDouble(shuffled, 2)
+        .AddDouble(local / shuffled, 2);
+  }
+  t.Print();
+
+  std::printf(
+      "\nReading: the local/central ratio tracks sqrt(n) (the paper's "
+      "motivating gap); network shuffling\nrecovers a factor eps0/eps of it "
+      "— growing with n — without any trusted entity.\n");
+  return 0;
+}

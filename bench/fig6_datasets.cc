@@ -1,0 +1,64 @@
+// Figure 6 — amplified epsilon vs eps0 (0.1 .. 1.2) for the five dataset
+// graphs under A_all, at the mixing-time operating point.
+//
+// The paper's finding: population size matters most — Google (n ~ 8.6x10^5)
+// achieves the strongest amplification despite its large Gamma.
+
+#include <cstdio>
+
+#include "dp/amplification.h"
+#include "experiment_common.h"
+#include "graph/walk.h"
+#include "util/table.h"
+
+using namespace netshuffle;
+
+int main() {
+  const double scale = EnvScale();
+  const double delta = 0.5e-6, delta2 = 0.5e-6;
+  std::printf(
+      "Figure 6 reproduction: central eps (A_all) vs eps0 across datasets at "
+      "t = mixing time (scale=%.2f)\n\n",
+      scale);
+
+  struct Row {
+    std::string name;
+    size_t n;
+    double sum_p_sq;
+  };
+  std::vector<Row> rows;
+  for (const auto& spec : RealWorldSpecs()) {
+    auto ds = LoadOrMakeDataset(spec.name, 2022, scale);
+    const size_t n = ds.graph.num_nodes();
+    // At t = t_mix, (1-alpha)^{2t} ~ e^{-2 log n} = 1/n^2 (Eq. 5), so
+    // sum P^2 ~ sum pi^2 + 1/n^2 without needing the gap explicitly.
+    const double sum_p_sq =
+        StationarySumSquares(ds.graph) +
+        1.0 / (static_cast<double>(n) * static_cast<double>(n));
+    rows.push_back({spec.name, n, sum_p_sq});
+    std::printf("%-9s n=%-7zu Gamma=%.3f\n", spec.name.c_str(), n,
+                ds.actual_gamma);
+  }
+  std::printf("\n");
+
+  Table t({"eps0", "facebook", "twitch", "deezer", "enron", "google"});
+  for (double eps0 = 0.1; eps0 <= 1.2001; eps0 += 0.1) {
+    t.NewRow().AddDouble(eps0, 1);
+    for (const auto& row : rows) {
+      NetworkShufflingBoundInput in;
+      in.epsilon0 = eps0;
+      in.n = row.n;
+      in.sum_p_squares = row.sum_p_sq;
+      in.delta = delta;
+      in.delta2 = delta2;
+      t.AddDouble(EpsilonAllStationary(in), 4);
+    }
+  }
+  t.Print();
+
+  std::printf(
+      "\nExpected shape: google (largest n) gives the lowest curve; enron "
+      "pays for its huge Gamma;\nthe twitch/facebook/deezer curves order by "
+      "their n and Gamma combination.\n");
+  return 0;
+}

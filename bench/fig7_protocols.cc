@@ -1,0 +1,76 @@
+// Figure 7 — A_all vs A_single central epsilon as a function of eps0, on the
+// Twitch-like (n ~ 9.5k) and Google-like (n ~ 8.6x10^5) graphs.
+//
+// The reproduced crossover: A_single amplifies more at large eps0 (its bound
+// lacks the e^{4 eps0} composition factor of A_all).
+
+#include <cstdio>
+
+#include "dp/amplification.h"
+#include "experiment_common.h"
+#include "graph/walk.h"
+#include "util/table.h"
+
+using namespace netshuffle;
+
+int main() {
+  const double scale = EnvScale();
+  const double delta = 0.5e-6, delta2 = 0.5e-6;
+  std::printf(
+      "Figure 7 reproduction: A_all (Thm 5.3) vs A_single (Thm 5.5) central "
+      "eps vs eps0 (scale=%.2f)\n\n",
+      scale);
+
+  struct Ds {
+    std::string name;
+    size_t n;
+    double sum_p_sq;
+  };
+  std::vector<Ds> datasets;
+  for (const char* name : {"twitch", "google"}) {
+    auto ds = LoadOrMakeDataset(name, 2022, scale);
+    const size_t n = ds.graph.num_nodes();
+    datasets.push_back(
+        {name, n,
+         StationarySumSquares(ds.graph) +
+             1.0 / (static_cast<double>(n) * static_cast<double>(n))});
+    std::printf("%-7s n=%zu Gamma=%.3f\n", name, n, ds.actual_gamma);
+  }
+  std::printf("\n");
+
+  Table t({"eps0", "twitch A_all", "twitch A_single", "google A_all",
+           "google A_single"});
+  double crossover_twitch = -1.0;
+  double prev_diff = 0.0;
+  for (double eps0 = 0.25; eps0 <= 5.001; eps0 += 0.25) {
+    t.NewRow().AddDouble(eps0, 2);
+    for (const auto& ds : datasets) {
+      NetworkShufflingBoundInput in;
+      in.epsilon0 = eps0;
+      in.n = ds.n;
+      in.sum_p_squares = ds.sum_p_sq;
+      in.delta = delta;
+      in.delta2 = delta2;
+      const double all = EpsilonAllStationary(in);
+      const double single = EpsilonSingle(in);
+      t.AddDouble(all, 4).AddDouble(single, 4);
+      if (ds.name == "twitch") {
+        const double diff = all - single;
+        if (crossover_twitch < 0.0 && prev_diff < 0.0 && diff >= 0.0) {
+          crossover_twitch = eps0;
+        }
+        prev_diff = diff;
+      }
+    }
+  }
+  t.Print();
+  if (crossover_twitch > 0.0) {
+    std::printf("\ntwitch crossover (A_single becomes better): eps0 ~ %.2f\n",
+                crossover_twitch);
+  }
+  std::printf(
+      "\nExpected shape: at small eps0 the two protocols are comparable "
+      "(A_all can even win);\nat large eps0 A_single's curve falls clearly "
+      "below A_all's, for both datasets.\n");
+  return 0;
+}

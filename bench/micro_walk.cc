@@ -1,0 +1,71 @@
+// google-benchmark micro suite: graph construction, walk-step and spectral
+// primitives.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.h"
+#include "graph/spectral.h"
+#include "graph/walk.h"
+#include "util/rng.h"
+
+namespace netshuffle {
+namespace {
+
+void BM_MakeRandomRegular(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    Graph g = MakeRandomRegular(n, 8, &rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MakeRandomRegular)->Arg(1000)->Arg(10000);
+
+void BM_WalkStep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  Graph g = MakeRandomRegular(n, 8, &rng);
+  PositionDistribution d(&g, 0);
+  for (auto _ : state) {
+    d.Step();
+    benchmark::DoNotOptimize(d.probabilities().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges() * 2));
+}
+BENCHMARK(BM_WalkStep)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LazyWalkStep(benchmark::State& state) {
+  Rng rng(3);
+  Graph g = MakeRandomRegular(10000, 8, &rng);
+  PositionDistribution d(&g, 0);
+  for (auto _ : state) {
+    d.LazyStep(0.3);
+    benchmark::DoNotOptimize(d.probabilities().data());
+  }
+}
+BENCHMARK(BM_LazyWalkStep);
+
+void BM_SpectralGap(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  Graph g = MakeRandomRegular(n, 8, &rng);
+  for (auto _ : state) {
+    auto r = EstimateSpectralGap(g);
+    benchmark::DoNotOptimize(r.gap);
+  }
+}
+BENCHMARK(BM_SpectralGap)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_StationaryGamma(benchmark::State& state) {
+  Rng rng(5);
+  Graph g = MakeBarabasiAlbert(50000, 4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StationaryGamma(g));
+  }
+}
+BENCHMARK(BM_StationaryGamma);
+
+}  // namespace
+}  // namespace netshuffle

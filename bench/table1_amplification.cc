@@ -1,0 +1,93 @@
+// Table 1 — comparison of privacy amplification mechanisms.
+//
+// Paper rows (suppressing polylog factors):
+//   no amplification            eps0
+//   uniform subsampling         O(e^{eps0} / sqrt(n))
+//   uniform shuffling (EFMRT)   O(e^{3 eps0} / sqrt(n))
+//   uniform shuffling (clones)  O(e^{0.5 eps0} / sqrt(n))
+//   network shuffling (ours)    O(e^{1.5 eps0} / sqrt(n))
+//
+// This harness prints the concrete epsilon each mechanism certifies at a
+// fixed delta over a sweep of (eps0, n) — the ordering (who amplifies more)
+// is the reproduced result.
+
+#include <cmath>
+#include <cstdio>
+
+#include "dp/amplification.h"
+#include "util/table.h"
+
+using namespace netshuffle;
+
+int main() {
+  const double delta = 1e-6;
+  std::printf(
+      "Table 1 reproduction: central epsilon per mechanism "
+      "(delta=%.0e, regular graph Gamma=1, network shuffling at mixing "
+      "time)\n\n",
+      delta);
+
+  Table t({"eps0", "n", "none", "subsample(q=1/sqrt n)", "shuffle EFMRT",
+           "shuffle clones", "network A_all", "network A_single"});
+  for (double eps0 : {0.25, 0.4, 0.5, 1.0, 2.0}) {
+    for (size_t n : {size_t{10000}, size_t{100000}, size_t{1000000}}) {
+      NetworkShufflingBoundInput in;
+      in.epsilon0 = eps0;
+      in.n = n;
+      in.sum_p_squares = 1.0 / static_cast<double>(n);
+      in.delta = delta / 2.0;
+      in.delta2 = delta / 2.0;
+
+      const double q = 1.0 / std::sqrt(static_cast<double>(n));
+      const double efmrt = EpsilonUniformShufflingEFMRT(eps0, n, delta);
+      const double clones = EpsilonUniformShufflingClones(eps0, n, delta);
+
+      t.NewRow()
+          .AddDouble(eps0, 2)
+          .AddInt(static_cast<long long>(n))
+          .AddDouble(eps0, 4)
+          .AddDouble(EpsilonSubsampling(eps0, q), 4);
+      if (std::isinf(efmrt)) {
+        t.Add("n/a (eps0>=0.5)");
+      } else {
+        t.AddDouble(efmrt, 4);
+      }
+      if (std::isinf(clones)) {
+        t.Add("n/a");
+      } else {
+        t.AddDouble(clones, 4);
+      }
+      t.AddDouble(EpsilonAllStationary(in), 4)
+          .AddDouble(EpsilonSingle(in), 4);
+    }
+  }
+  t.Print();
+
+  std::printf(
+      "\nExpected shape: every amplification column beats no-amplification "
+      "at small eps0, with\nsubsample(q=1/sqrt n) < clones < network A_all "
+      "(constants follow the paper's exponent ordering\ne^{0.5 eps0} < "
+      "e^{1.5 eps0} < e^{3 eps0}); all columns shrink ~1/sqrt(n) as n "
+      "grows.\n");
+
+  // Scaling check: epsilon ratio when n quadruples (expect ~2).
+  Table s({"mechanism", "eps(n=62.5k)", "eps(n=250k)", "eps(n=1M)",
+           "ratio per 4x n"});
+  auto net = [&](size_t n) {
+    NetworkShufflingBoundInput in;
+    in.epsilon0 = 1.0;
+    in.n = n;
+    in.sum_p_squares = 1.0 / static_cast<double>(n);
+    in.delta = in.delta2 = delta / 2.0;
+    return EpsilonAllStationary(in);
+  };
+  const double a = net(62500), b = net(250000), c = net(1000000);
+  s.NewRow()
+      .Add("network A_all")
+      .AddDouble(a, 4)
+      .AddDouble(b, 4)
+      .AddDouble(c, 4)
+      .AddDouble(std::sqrt(a / c), 3);
+  s.Print("\nO(1/sqrt(n)) scaling of network shuffling:");
+  return 0;
+}

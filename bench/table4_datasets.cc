@@ -1,0 +1,43 @@
+// Table 4 — dataset statistics: n and Gamma_G of the five (synthetic
+// stand-in) graphs, alongside the paper's reported values.
+//
+// The synthetic graphs match the paper's node counts and are degree-tuned to
+// the paper's irregularity Gamma_G (see DESIGN.md §4 for the substitution
+// rationale).  Set NS_SCALE=0.1 for a quick run.
+
+#include <cstdio>
+
+#include "experiment_common.h"
+#include "graph/connectivity.h"
+#include "util/table.h"
+
+using namespace netshuffle;
+
+int main() {
+  const double scale = EnvScale();
+  std::printf(
+      "Table 4 reproduction: synthetic dataset stand-ins (scale=%.2f)\n\n",
+      scale);
+
+  Table t({"dataset", "category", "paper n", "actual n", "edges",
+           "paper Gamma", "actual Gamma", "ergodic"});
+  for (const auto& spec : RealWorldSpecs()) {
+    auto ds = LoadOrMakeDataset(spec.name, /*seed=*/2022, scale);
+    t.NewRow()
+        .Add(spec.name)
+        .Add(spec.category)
+        .AddInt(static_cast<long long>(spec.n))
+        .AddInt(static_cast<long long>(ds.graph.num_nodes()))
+        .AddInt(static_cast<long long>(ds.graph.num_edges()))
+        .AddDouble(spec.gamma, 4)
+        .AddDouble(ds.actual_gamma, 4)
+        .Add(IsErgodic(ds.graph) ? "yes" : "NO");
+  }
+  t.Print();
+
+  std::printf(
+      "\nExpected shape: social networks (facebook/twitch/deezer) have "
+      "Gamma <~ 10 (reasonably regular);\ncomm/web graphs (enron/google) "
+      "are far more irregular, matching the paper's observation.\n");
+  return 0;
+}
