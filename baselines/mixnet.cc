@@ -1,0 +1,18 @@
+#include "baselines/mixnet.h"
+
+namespace netshuffle {
+
+void RunMixnet(size_t n, const MixnetOptions& options,
+               ShuffleMetrics* metrics) {
+  const uint64_t per_user =
+      options.cover_messages == 0 ? static_cast<uint64_t>(n)
+                                  : options.cover_messages + 1;
+  for (NodeId u = 0; u < n; ++u) {
+    metrics->AddUserTraffic(u, per_user);
+    metrics->ObserveUserHoldings(u, 1);
+  }
+  // Each mix relays message-by-message: constant in-flight buffer per mix.
+  metrics->ObserveEntityBuffer(options.num_mixes);
+}
+
+}  // namespace netshuffle

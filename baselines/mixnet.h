@@ -1,0 +1,28 @@
+// Mix-net baseline for the Table-3 complexity comparison: a short cascade of
+// mixes forwards message-by-message (O(1) entity memory), but resisting
+// traffic analysis requires cover traffic — every user sends O(n) messages
+// per epoch.
+
+#ifndef NETSHUFFLE_BASELINES_MIXNET_H_
+#define NETSHUFFLE_BASELINES_MIXNET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "shuffle/engine.h"
+
+namespace netshuffle {
+
+struct MixnetOptions {
+  size_t num_mixes = 3;
+  /// Cover messages per user per epoch; 0 = one per potential recipient
+  /// (the n-message worst case the paper's table quotes).
+  size_t cover_messages = 0;
+  uint64_t seed = 1;
+};
+
+void RunMixnet(size_t n, const MixnetOptions& options, ShuffleMetrics* metrics);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_BASELINES_MIXNET_H_

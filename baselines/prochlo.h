@@ -1,0 +1,28 @@
+// Prochlo-style central shuffler baseline for the Table-3 complexity
+// comparison: one dedicated entity buffers every report (O(n) entity
+// memory), each user sends exactly once (O(1) user traffic).
+
+#ifndef NETSHUFFLE_BASELINES_PROCHLO_H_
+#define NETSHUFFLE_BASELINES_PROCHLO_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "shuffle/engine.h"
+
+namespace netshuffle {
+
+struct ProchloOptions {
+  /// Reports per output batch (the shuffler still has to buffer a full
+  /// epoch's worth before emitting).
+  size_t batch_size = 0;  // 0 = one epoch-sized batch
+  uint64_t seed = 1;
+};
+
+/// Simulates one Prochlo epoch over n users, recording complexity metrics.
+void RunProchlo(size_t n, const ProchloOptions& options,
+                ShuffleMetrics* metrics);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_BASELINES_PROCHLO_H_

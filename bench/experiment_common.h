@@ -14,11 +14,32 @@
 namespace netshuffle {
 
 /// Scale override for quick runs: NS_SCALE=0.1 shrinks every dataset.
+/// Values in (1.0, 1e3] up-scale past the paper's sizes and are honored
+/// (with a note on stderr); non-positive, unparseable, or over-cap values
+/// fall back to 1.0.
 inline double EnvScale() {
   const char* s = std::getenv("NS_SCALE");
   if (s == nullptr) return 1.0;
-  const double v = std::strtod(s, nullptr);
-  return (v > 0.0 && v <= 1.0) ? v : 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v > 0.0)) {
+    std::fprintf(stderr, "NS_SCALE='%s' is not a positive scale; using 1.0\n",
+                 s);
+    return 1.0;
+  }
+  if (v > 1e3) {
+    std::fprintf(stderr,
+                 "NS_SCALE=%s exceeds the supported maximum 1e3; using 1.0\n",
+                 s);
+    return 1.0;
+  }
+  if (v > 1.0) {
+    std::fprintf(stderr,
+                 "NS_SCALE=%.3f > 1: up-scaling datasets beyond their paper "
+                 "sizes\n",
+                 v);
+  }
+  return v;
 }
 
 /// Builds (or reloads from an on-disk cache) a synthetic dataset.  The cache
@@ -29,16 +50,24 @@ inline SyntheticDataset LoadOrMakeDataset(const std::string& name,
   std::snprintf(buf, sizeof(buf), "netshuffle_%s_s%.3f_seed%llu.edges",
                 name.c_str(), scale, static_cast<unsigned long long>(seed));
   const std::string path = buf;
+  const auto& spec = FindSpec(name);
+  // Compare against exactly what regeneration would produce.
+  const size_t target_n = TargetNodeCount(spec, scale);
   Graph cached;
-  if (LoadEdgeList(path, &cached) && cached.num_nodes() > 0) {
+  if (LoadEdgeList(path, &cached) && cached.num_nodes() == target_n) {
     SyntheticDataset ds;
     ds.name = name;
     ds.graph = std::move(cached);
-    const auto& spec = FindSpec(name);
-    ds.target_n = static_cast<size_t>(scale * spec.n);
+    ds.target_n = target_n;
     ds.target_gamma = spec.gamma;
     ds.actual_gamma = StationaryGamma(ds.graph);
     return ds;
+  }
+  if (cached.num_nodes() > 0 && cached.num_nodes() != target_n) {
+    std::fprintf(stderr,
+                 "%s: cached graph has %zu nodes but spec wants %zu; "
+                 "regenerating\n",
+                 path.c_str(), cached.num_nodes(), target_n);
   }
   SyntheticDataset ds = MakeDatasetByName(name, seed, scale);
   SaveEdgeList(ds.graph, path);

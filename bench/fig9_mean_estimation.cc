@@ -1,7 +1,7 @@
 // Figure 9 — privacy-utility trade-off of private mean estimation on the
 // Twitch-like graph: expected squared l2 error vs the central epsilon, for
-// A_all and A_single (PrivUnit, d = 200, N(1,1)/N(10,1) halves, N(5,1)
-// dummies).
+// A_all and A_single (PrivUnit, d = 200, N(1,1)/N(10,1) halves,
+// uniform-direction dummies).
 //
 // Reproduced finding: for a fixed central epsilon, A_all's error stays below
 // A_single's in the studied region.

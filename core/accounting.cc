@@ -1,0 +1,79 @@
+#include "core/accounting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dp/amplification.h"
+#include "graph/walk.h"
+#include "shuffle/engine.h"
+
+namespace netshuffle {
+
+MonteCarloAccountingResult MonteCarloEpsilonAll(const Graph& g, size_t rounds,
+                                                double epsilon0,
+                                                double delta_total,
+                                                size_t trials, double quantile,
+                                                uint64_t seed) {
+  MonteCarloAccountingResult out;
+  out.quantile = quantile;
+  out.trials = trials;
+  if (trials == 0 || g.num_nodes() == 0) return out;
+
+  // Deterministic part: the victim report's exact position distribution.
+  PositionDistribution dist(&g, 0);
+  for (size_t t = 0; t < rounds; ++t) dist.Step();
+
+  NetworkShufflingBoundInput in;
+  in.n = g.num_nodes();
+  in.sum_p_squares = dist.SumSquares();
+  in.rho_star = dist.RhoStar();
+  // Same split as the closed-form convention, so the certified epsilon is
+  // comparable at equal delta_total; the within-slot credit is a
+  // conditional-on-observables refinement whose slack the concentration
+  // budget absorbs (it only fires for implausibly large slots).
+  in.delta = 0.5 * delta_total;
+  in.delta2 = 0.5 * delta_total;
+  const double slot_delta = 0.5 * delta_total;
+
+  std::vector<double> eps(trials, 0.0);
+  for (size_t trial = 0; trial < trials; ++trial) {
+    ExchangeOptions opts;
+    opts.rounds = rounds;
+    opts.seed = seed + trial;
+    ExchangeResult ex = RunExchange(g, opts);
+
+    // Observed slot of the victim's report: the batch it is shuffled inside
+    // before submission gives a "for free" uniform-shuffling credit on the
+    // local budget entering the walk theorem.
+    size_t slot_size = 1;
+    for (const auto& held : ex.holdings) {
+      for (const Report& r : held) {
+        if (r.origin == 0) {
+          slot_size = held.size();
+          break;
+        }
+      }
+    }
+    const double within_slot =
+        EpsilonUniformShufflingClones(epsilon0, slot_size, slot_delta);
+    in.epsilon0 = std::min(epsilon0, within_slot);
+    // Both theorems are valid at the realized collision mass; certify the
+    // tighter one (the symmetric form can lose at late rounds, where its
+    // rho*-scaled slack exceeds the stationary bound's).
+    eps[trial] = std::min(EpsilonAllSymmetric(in), EpsilonAllStationary(in));
+  }
+
+  double sum = 0.0;
+  for (double e : eps) sum += e;
+  out.epsilon_mean = sum / static_cast<double>(trials);
+  std::sort(eps.begin(), eps.end());
+  const size_t idx = std::min(
+      trials - 1,
+      static_cast<size_t>(std::ceil(quantile * static_cast<double>(trials))) -
+          (quantile > 0.0 ? 1 : 0));
+  out.epsilon_quantile = eps[idx];
+  return out;
+}
+
+}  // namespace netshuffle

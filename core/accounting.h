@@ -1,0 +1,37 @@
+// Data-dependent Monte-Carlo privacy accounting: instead of the worst-case
+// Eq.-7 bound, simulate the exchange and account with (a) the exact position
+// distribution of the victim's report and (b) the within-slot shuffling
+// credit implied by the observed slot (per-holder report batch) sizes.
+// Certifies an epsilon at the requested confidence quantile over exchange
+// randomness — the paper's "accounting may be further tightened" direction.
+
+#ifndef NETSHUFFLE_CORE_ACCOUNTING_H_
+#define NETSHUFFLE_CORE_ACCOUNTING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace netshuffle {
+
+struct MonteCarloAccountingResult {
+  double epsilon_mean = 0.0;
+  /// The `quantile`-level epsilon across trials (e.g. 0.95 -> p95).
+  double epsilon_quantile = 0.0;
+  double quantile = 0.95;
+  size_t trials = 0;
+};
+
+/// A_all accounting for a report originating at node 0, walking `rounds`
+/// steps.  `delta_total` is split evenly across the composition and
+/// concentration slacks of the underlying symmetric theorem.
+MonteCarloAccountingResult MonteCarloEpsilonAll(const Graph& g, size_t rounds,
+                                                double epsilon0,
+                                                double delta_total,
+                                                size_t trials, double quantile,
+                                                uint64_t seed);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_CORE_ACCOUNTING_H_

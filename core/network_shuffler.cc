@@ -1,0 +1,54 @@
+#include "core/network_shuffler.h"
+
+#include <algorithm>
+
+#include "graph/spectral.h"
+#include "graph/walk.h"
+#include "shuffle/engine.h"
+
+namespace netshuffle {
+
+NetworkShuffler::NetworkShuffler(Graph graph, NetworkShufflerConfig config)
+    : graph_(std::move(graph)), config_(config) {
+  gap_ = EstimateSpectralGap(graph_).gap;
+  rounds_ = config_.rounds > 0 ? config_.rounds
+                               : MixingTime(gap_, graph_.num_nodes());
+  sum_p_squares_bound_ =
+      SumSquaresBound(StationarySumSquares(graph_), gap_, rounds_);
+}
+
+double NetworkShuffler::Gamma() const {
+  return static_cast<double>(graph_.num_nodes()) * sum_p_squares_bound_;
+}
+
+PrivacyParams NetworkShuffler::CentralGuarantee(double epsilon0) const {
+  NetworkShufflingBoundInput in;
+  in.epsilon0 = epsilon0;
+  in.n = graph_.num_nodes();
+  in.sum_p_squares = sum_p_squares_bound_;
+  in.delta = config_.delta;
+  in.delta2 = config_.delta2;
+  const double eps = config_.protocol == ReportingProtocol::kSingle
+                         ? EpsilonSingle(in)
+                         : EpsilonAllStationary(in);
+  return PrivacyParams{eps, config_.delta + config_.delta2};
+}
+
+PrivacyParams NetworkShuffler::CappedGuarantee(double epsilon0) const {
+  PrivacyParams p = CentralGuarantee(epsilon0);
+  if (!(p.epsilon < epsilon0)) {
+    // The amplification argument certifies nothing beyond the LDP floor,
+    // which costs no delta.
+    return PrivacyParams{epsilon0, 0.0};
+  }
+  return p;
+}
+
+ProtocolResult NetworkShuffler::Run() const {
+  ExchangeOptions opts;
+  opts.rounds = rounds_;
+  opts.seed = config_.seed;
+  return RunProtocol(graph_, config_.protocol, opts);
+}
+
+}  // namespace netshuffle

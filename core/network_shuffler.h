@@ -1,0 +1,66 @@
+// The NetworkShuffler facade: owns the communication graph, derives the
+// operating point (spectral gap -> mixing time -> sum P^2 bound), answers
+// privacy-accounting queries, and runs the protocol.
+
+#ifndef NETSHUFFLE_CORE_NETWORK_SHUFFLER_H_
+#define NETSHUFFLE_CORE_NETWORK_SHUFFLER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dp/amplification.h"
+#include "graph/graph.h"
+#include "shuffle/protocol.h"
+
+namespace netshuffle {
+
+struct PrivacyParams {
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+struct NetworkShufflerConfig {
+  ReportingProtocol protocol = ReportingProtocol::kAll;
+  /// Exchange rounds; 0 selects the mixing time alpha^-1 log n.
+  size_t rounds = 0;
+  /// Delta budget split: composition slack / report-size concentration.
+  double delta = 0.5e-6;
+  double delta2 = 0.5e-6;
+  uint64_t seed = 2022;
+};
+
+class NetworkShuffler {
+ public:
+  /// Takes ownership of the graph; computes the spectral gap once here.
+  NetworkShuffler(Graph graph, NetworkShufflerConfig config);
+
+  double spectral_gap() const { return gap_; }
+  size_t rounds() const { return rounds_; }
+  /// n * (sum P^2 bound at the operating point) — converges to the paper's
+  /// Gamma_G irregularity at the mixing time (1 for regular graphs).
+  double Gamma() const;
+
+  const Graph& graph() const { return graph_; }
+  const NetworkShufflerConfig& config() const { return config_; }
+
+  /// Raw theorem guarantee (Thm 5.3 for kAll, Thm 5.5 for kSingle) at this
+  /// operating point; can exceed eps0 in weak regimes.
+  PrivacyParams CentralGuarantee(double epsilon0) const;
+
+  /// CentralGuarantee capped at the trivial (eps0, 0) LDP floor.
+  PrivacyParams CappedGuarantee(double epsilon0) const;
+
+  /// Runs the exchange + reporting protocol with the config seed.
+  ProtocolResult Run() const;
+
+ private:
+  Graph graph_;
+  NetworkShufflerConfig config_;
+  double gap_ = 0.0;
+  size_t rounds_ = 0;
+  double sum_p_squares_bound_ = 1.0;
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_CORE_NETWORK_SHUFFLER_H_

@@ -1,0 +1,58 @@
+// Synthetic stand-ins for the paper's five evaluation graphs.  The generated
+// graphs match the paper's node counts (scaled by `scale`) and are
+// degree-tuned toward the paper's irregularity Gamma_G via a two-tier
+// configuration model; see DESIGN.md §4 for the substitution rationale.
+
+#ifndef NETSHUFFLE_DATA_DATASETS_H_
+#define NETSHUFFLE_DATA_DATASETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace netshuffle {
+
+struct RealWorldSpec {
+  std::string name;
+  std::string category;
+  /// Paper-reported node count at full scale.
+  size_t n;
+  /// Paper-reported irregularity Gamma_G = n sum pi^2.
+  double gamma;
+};
+
+/// The five evaluation graphs: facebook, twitch, deezer (social), enron
+/// (comm), google (web).
+const std::vector<RealWorldSpec>& RealWorldSpecs();
+
+/// Throws std::out_of_range for unknown names.
+const RealWorldSpec& FindSpec(const std::string& name);
+
+struct SyntheticDataset {
+  std::string name;
+  Graph graph;
+  /// scale * spec.n — the node count the generator was asked for.
+  size_t target_n = 0;
+  /// The paper's Gamma_G the degree sequence was tuned toward.
+  double target_gamma = 1.0;
+  /// Realized StationaryGamma(graph).
+  double actual_gamma = 1.0;
+};
+
+/// The node count generation will actually produce for a spec at `scale`:
+/// scale * spec.n clamped to [32, NodeId range].  Cache-validity checks must
+/// use this, not their own arithmetic.
+size_t TargetNodeCount(const RealWorldSpec& spec, double scale);
+
+/// Generates the named dataset at `scale` (node count = TargetNodeCount).
+/// Deterministic in (name, seed, scale).  The result is always ergodic
+/// (connected, non-bipartite).
+SyntheticDataset MakeDatasetByName(const std::string& name, uint64_t seed,
+                                   double scale);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_DATA_DATASETS_H_

@@ -1,0 +1,125 @@
+#include "dp/amplification.h"
+
+#include <cmath>
+#include <limits>
+
+namespace netshuffle {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Report-size concentration: the realized anonymity mass behind sum P^2 only
+// holds up to a Chernoff slack spent from delta2.  Inflates the collision
+// mass; diverges (no guarantee) when the slack swallows the whole mass.
+double ConcentratedSumPSquares(double sum_p_squares, double delta2) {
+  if (sum_p_squares <= 0.0) return kInf;
+  const double slack =
+      std::sqrt(2.0 * sum_p_squares * std::log(1.0 / delta2));
+  if (slack >= 1.0) return kInf;
+  return sum_p_squares / (1.0 - slack);
+}
+
+bool Valid(const NetworkShufflingBoundInput& in) {
+  return in.n > 0 && in.epsilon0 > 0.0 && in.sum_p_squares > 0.0 &&
+         in.delta > 0.0 && in.delta < 1.0 && in.delta2 > 0.0 &&
+         in.delta2 < 1.0;
+}
+
+}  // namespace
+
+double EpsilonAllStationary(const NetworkShufflingBoundInput& in) {
+  if (!Valid(in)) return kInf;
+  const double p2 = ConcentratedSumPSquares(in.sum_p_squares, in.delta2);
+  if (!(p2 < 1.0)) return kInf;
+  const double s = std::sqrt(2.0 * p2 * std::log(4.0 / in.delta));
+  // e^{1.5 eps0} - e^{-0.5 eps0}: ~2 eps0 for small budgets, e^{1.5 eps0}
+  // asymptotically — the A_all composition penalty.
+  const double mult =
+      std::exp(1.5 * in.epsilon0) - std::exp(-0.5 * in.epsilon0);
+  return std::log1p(2.0 * mult * s + 4.0 * p2 * std::exp(in.epsilon0));
+}
+
+double EpsilonAllSymmetric(const NetworkShufflingBoundInput& in) {
+  if (!Valid(in)) return kInf;
+  // Exact tracking: the collision mass is known, so only the milder additive
+  // concentration term (scaled by the stationarity overshoot rho*) applies.
+  const double rho = in.rho_star >= 1.0 ? in.rho_star : 1.0;
+  const double slack = std::sqrt(2.0 * rho * in.sum_p_squares *
+                                 std::log(1.0 / in.delta2));
+  const double p2 = in.sum_p_squares * (1.0 + slack);
+  if (!(p2 < 1.0)) return kInf;
+  const double s = std::sqrt(2.0 * p2 * std::log(4.0 / in.delta));
+  const double mult =
+      std::exp(1.5 * in.epsilon0) - std::exp(-0.5 * in.epsilon0);
+  return std::log1p(2.0 * mult * s + 4.0 * p2 * std::exp(in.epsilon0));
+}
+
+double EpsilonSingle(const NetworkShufflingBoundInput& in) {
+  if (!Valid(in)) return kInf;
+  const double p2 = ConcentratedSumPSquares(in.sum_p_squares, in.delta2);
+  if (!(p2 < 1.0)) return kInf;
+  const double s = std::sqrt(2.0 * p2 * std::log(4.0 / in.delta));
+  // Clones-style dependence (e^{eps0}-1)/sqrt(e^{eps0}+1) ~ e^{0.5 eps0}:
+  // A_single composes nothing across rounds, but its single submission per
+  // user pays a larger constant (the 6.5) from dummy/drop slack at small
+  // eps0.
+  const double mult =
+      std::expm1(in.epsilon0) / std::sqrt(std::exp(in.epsilon0) + 1.0);
+  return std::log1p(6.5 * mult * s +
+                    4.0 * p2 * std::exp(0.5 * in.epsilon0));
+}
+
+double EpsilonSubsampling(double epsilon0, double q) {
+  if (epsilon0 <= 0.0 || q <= 0.0 || q > 1.0) return kInf;
+  return std::log1p(q * std::expm1(epsilon0));
+}
+
+double EpsilonUniformShufflingEFMRT(double epsilon0, size_t n, double delta) {
+  if (epsilon0 <= 0.0 || epsilon0 >= 0.5 || n == 0 || delta <= 0.0) {
+    return kInf;
+  }
+  return 12.0 * epsilon0 *
+         std::sqrt(std::log(1.0 / delta) / static_cast<double>(n));
+}
+
+double EpsilonUniformShufflingClones(double epsilon0, size_t n, double delta) {
+  if (epsilon0 <= 0.0 || n == 0 || delta <= 0.0) return kInf;
+  const double nn = static_cast<double>(n);
+  if (epsilon0 > std::log(nn / (16.0 * std::log(2.0 / delta)))) return kInf;
+  const double term =
+      4.0 * std::sqrt(2.0 * std::log(4.0 / delta) /
+                      ((std::exp(epsilon0) + 1.0) * nn)) +
+      4.0 / nn;
+  return std::log1p(std::expm1(epsilon0) * term);
+}
+
+double MaxLocalEpsilonForCentralTarget(double central_target, size_t n,
+                                       double sum_p_squares, double delta,
+                                       double delta2) {
+  NetworkShufflingBoundInput in;
+  in.n = n;
+  in.sum_p_squares = sum_p_squares;
+  in.delta = delta;
+  in.delta2 = delta2;
+
+  in.epsilon0 = central_target;
+  if (EpsilonAllStationary(in) > central_target) {
+    // No amplification available at all — the local budget is the target.
+    return central_target;
+  }
+  double lo = central_target, hi = central_target;
+  for (int i = 0; i < 64 && hi < 64.0; ++i) {
+    hi *= 2.0;
+    in.epsilon0 = hi;
+    if (EpsilonAllStationary(in) > central_target) break;
+    lo = hi;
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    in.epsilon0 = mid;
+    (EpsilonAllStationary(in) <= central_target ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,27 @@
+#include "dp/composition.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netshuffle {
+
+double BasicComposition(const std::vector<double>& epsilons) {
+  double s = 0.0;
+  for (double e : epsilons) s += e;
+  return s;
+}
+
+double AdvancedComposition(const std::vector<double>& epsilons,
+                           double delta_slack) {
+  if (epsilons.empty()) return 0.0;
+  double sum_sq = 0.0, drift = 0.0;
+  for (double e : epsilons) {
+    sum_sq += e * e;
+    drift += e * std::expm1(e) / (std::exp(e) + 1.0);
+  }
+  const double advanced =
+      std::sqrt(2.0 * std::log(1.0 / delta_slack) * sum_sq) + drift;
+  return std::min(advanced, BasicComposition(epsilons));
+}
+
+}  // namespace netshuffle

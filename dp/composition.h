@@ -1,0 +1,23 @@
+// DP composition helpers.
+
+#ifndef NETSHUFFLE_DP_COMPOSITION_H_
+#define NETSHUFFLE_DP_COMPOSITION_H_
+
+#include <vector>
+
+namespace netshuffle {
+
+/// Basic composition: sum of the per-mechanism epsilons.
+double BasicComposition(const std::vector<double>& epsilons);
+
+/// Heterogeneous advanced composition (Kairouz-Oh-Viswanath form): the
+/// composed mechanisms are (eps', sum delta_i + delta_slack)-DP with
+///   eps' = sqrt(2 log(1/delta_slack) sum eps_i^2)
+///          + sum eps_i (e^{eps_i} - 1) / (e^{eps_i} + 1).
+/// Returns min(eps', basic composition).
+double AdvancedComposition(const std::vector<double>& epsilons,
+                           double delta_slack);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_DP_COMPOSITION_H_

@@ -1,0 +1,34 @@
+#include "dp/ldp.h"
+
+#include <cmath>
+
+namespace netshuffle {
+
+KRandomizedResponse::KRandomizedResponse(size_t num_categories, double epsilon)
+    : k_(num_categories), epsilon_(epsilon) {
+  const double e = std::exp(epsilon_);
+  p_keep_ = e / (e + static_cast<double>(k_) - 1.0);
+  p_other_ = 1.0 / (e + static_cast<double>(k_) - 1.0);
+}
+
+uint32_t KRandomizedResponse::Randomize(uint32_t value, Rng* rng) const {
+  if (rng->UniformDouble() < p_keep_) return value;
+  // Uniform over the k-1 other categories.
+  uint32_t r = static_cast<uint32_t>(rng->UniformInt(k_ - 1));
+  return r >= value ? r + 1 : r;
+}
+
+std::vector<double> KRandomizedResponse::DebiasCounts(
+    const std::vector<uint64_t>& counts, size_t n) const {
+  std::vector<double> est(counts.size(), 0.0);
+  if (n == 0) return est;
+  const double denom = p_keep_ - p_other_;
+  for (size_t c = 0; c < counts.size(); ++c) {
+    const double observed =
+        static_cast<double>(counts[c]) / static_cast<double>(n);
+    est[c] = (observed - p_other_) / denom;
+  }
+  return est;
+}
+
+}  // namespace netshuffle

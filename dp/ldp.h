@@ -1,0 +1,57 @@
+// Local randomizers: k-ary randomized response and the Laplace mechanism.
+
+#ifndef NETSHUFFLE_DP_LDP_H_
+#define NETSHUFFLE_DP_LDP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace netshuffle {
+
+/// k-ary randomized response: keeps the true category with probability
+/// e^{eps} / (e^{eps} + k - 1), otherwise reports one of the k-1 others
+/// uniformly.  eps-LDP.
+class KRandomizedResponse {
+ public:
+  KRandomizedResponse(size_t num_categories, double epsilon);
+
+  uint32_t Randomize(uint32_t value, Rng* rng) const;
+
+  /// Unbiased estimate of the true category *proportions* from randomized
+  /// counts over n reports.
+  std::vector<double> DebiasCounts(const std::vector<uint64_t>& counts,
+                                   size_t n) const;
+
+  size_t num_categories() const { return k_; }
+  double keep_probability() const { return p_keep_; }
+
+ private:
+  size_t k_;
+  double epsilon_;
+  double p_keep_;   // P[report truth]
+  double p_other_;  // P[report a specific other category]
+};
+
+/// Laplace mechanism for scalars in [lo, hi]; adds Laplace((hi-lo)/eps)
+/// noise, giving eps-LDP for one report.
+class LaplaceMechanism {
+ public:
+  LaplaceMechanism(double lo, double hi, double epsilon)
+      : scale_((hi - lo) / epsilon) {}
+
+  double Randomize(double value, Rng* rng) const {
+    return value + rng->Laplace(scale_);
+  }
+
+  double scale() const { return scale_; }
+
+ private:
+  double scale_;
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_DP_LDP_H_

@@ -1,0 +1,48 @@
+#include "dp/privunit.h"
+
+#include <cmath>
+
+namespace netshuffle {
+namespace {
+
+// c_d = E|<z, u>| for z uniform on the (d-1)-sphere and any unit u:
+// Gamma(d/2) / (sqrt(pi) Gamma((d+1)/2)).
+double MeanAbsProjection(size_t d) {
+  return std::exp(std::lgamma(0.5 * static_cast<double>(d)) -
+                  std::lgamma(0.5 * static_cast<double>(d + 1))) /
+         std::sqrt(3.14159265358979323846);
+}
+
+}  // namespace
+
+PrivUnit::PrivUnit(size_t dim, double epsilon0) : dim_(dim) {
+  const double e = std::exp(epsilon0);
+  keep_prob_ = e / (1.0 + e);
+  // Unbiasedness: E[b z] = (2 keep_prob - 1) c_d u  =>  scale cancels both.
+  scale_ = 1.0 / ((2.0 * keep_prob_ - 1.0) * MeanAbsProjection(dim));
+}
+
+std::vector<double> PrivUnit::Randomize(const std::vector<double>& unit,
+                                        Rng* rng) const {
+  // Uniform direction on the sphere.
+  std::vector<double> z(dim_);
+  double norm_sq = 0.0;
+  for (double& zi : z) {
+    zi = rng->Gaussian();
+    norm_sq += zi * zi;
+  }
+  const double inv_norm = 1.0 / std::sqrt(norm_sq);
+
+  double dot = 0.0;
+  const size_t d = std::min(dim_, unit.size());
+  for (size_t i = 0; i < d; ++i) dot += z[i] * unit[i];
+
+  double sign = dot >= 0.0 ? 1.0 : -1.0;
+  if (rng->UniformDouble() >= keep_prob_) sign = -sign;
+
+  const double factor = sign * scale_ * inv_norm;
+  for (double& zi : z) zi *= factor;
+  return z;
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,40 @@
+// PrivUnit-style eps0-LDP randomizer for unit vectors (Bhowmick et al.).
+//
+// This implementation releases a uniformly random direction z together with
+// a randomized-response bit for sign(<z, u>), scaled so the output is an
+// unbiased estimate of u.  The output depends on the input only through that
+// single eps0-DP bit, so the whole report is eps0-LDP.  Same API and error
+// shape (E||out - u||^2 = Theta(d / eps0^2) for small eps0) as the cap-based
+// PrivUnit of the paper.
+
+#ifndef NETSHUFFLE_DP_PRIVUNIT_H_
+#define NETSHUFFLE_DP_PRIVUNIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace netshuffle {
+
+class PrivUnit {
+ public:
+  PrivUnit(size_t dim, double epsilon0);
+
+  /// `unit` must have norm ~1.  Returns the randomized (scaled) vector.
+  std::vector<double> Randomize(const std::vector<double>& unit,
+                                Rng* rng) const;
+
+  /// The debiasing scale: every output has l2 norm exactly scale().
+  double scale() const { return scale_; }
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  double keep_prob_;  // e^{eps0} / (1 + e^{eps0})
+  double scale_;
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_DP_PRIVUNIT_H_

@@ -1,0 +1,51 @@
+// Private mean estimation of d-dimensional unit vectors over network
+// shuffling (the paper's Figure-9 workload): PrivUnit randomization,
+// report exchange, protocol finalization, server-side averaging.
+
+#ifndef NETSHUFFLE_ESTIMATION_MEAN_ESTIMATION_H_
+#define NETSHUFFLE_ESTIMATION_MEAN_ESTIMATION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "shuffle/protocol.h"
+
+namespace netshuffle {
+
+struct MeanEstimationConfig {
+  size_t dim = 200;
+  double epsilon0 = 1.0;
+  /// Exchange rounds (callers pass the accountant's mixing time).
+  size_t rounds = 0;
+  ReportingProtocol protocol = ReportingProtocol::kAll;
+  uint64_t seed = 1;
+};
+
+struct MeanEstimationResult {
+  /// || estimate - true mean ||_2^2.
+  double squared_error = 0.0;
+  size_t genuine_reports = 0;
+  size_t dummy_reports = 0;
+  size_t dropped_reports = 0;
+};
+
+/// The paper's synthetic workload: users hold unit vectors drawn per
+/// coordinate from N(1,1) (first half) or N(10,1) (second half), then
+/// normalized; dummies submit uniformly random directions.
+///
+/// Under kAll every genuine report reaches the curator and dummy slots are
+/// identifiable padding, so the estimate averages the n genuine reports.
+/// Under kSingle dummies are indistinguishable by design, so they (and the
+/// dropped surplus reports) bias the estimate — the utility cost the paper
+/// quantifies.
+MeanEstimationResult RunMeanEstimation(const Graph& g,
+                                       const MeanEstimationConfig& config);
+
+/// Trusted-shuffler baseline: same randomization, all n reports delivered.
+MeanEstimationResult RunMeanEstimationUniformShuffle(
+    size_t n, const MeanEstimationConfig& config);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_ESTIMATION_MEAN_ESTIMATION_H_

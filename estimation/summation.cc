@@ -1,0 +1,25 @@
+#include "estimation/summation.h"
+
+#include <cmath>
+
+namespace netshuffle {
+
+double SummationRmse(const std::vector<double>& values, double epsilon,
+                     bool central, size_t trials, Rng* rng) {
+  // The estimator error is pure noise (the values cancel), so only the noise
+  // needs simulating.
+  const double scale = 1.0 / epsilon;
+  double sum_sq_err = 0.0;
+  for (size_t t = 0; t < trials; ++t) {
+    double err = 0.0;
+    if (central) {
+      err = rng->Laplace(scale);
+    } else {
+      for (size_t i = 0; i < values.size(); ++i) err += rng->Laplace(scale);
+    }
+    sum_sq_err += err * err;
+  }
+  return std::sqrt(sum_sq_err / static_cast<double>(trials));
+}
+
+}  // namespace netshuffle

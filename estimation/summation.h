@@ -1,0 +1,23 @@
+// Private real summation in the central and local models — the motivating
+// sqrt(n) utility gap of the paper's Section 1.
+
+#ifndef NETSHUFFLE_ESTIMATION_SUMMATION_H_
+#define NETSHUFFLE_ESTIMATION_SUMMATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dp/amplification.h"  // the inverse accountant pairs with this API
+#include "util/rng.h"
+
+namespace netshuffle {
+
+/// RMSE (over `trials` runs) of privately summing values in [0, 1] at budget
+/// eps.  central=true: one Laplace(1/eps) draw on the exact sum.
+/// central=false: every user perturbs locally with Laplace(1/eps).
+double SummationRmse(const std::vector<double>& values, double epsilon,
+                     bool central, size_t trials, Rng* rng);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_ESTIMATION_SUMMATION_H_

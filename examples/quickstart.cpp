@@ -55,8 +55,12 @@ int main(int argc, char** argv) {
   for (const auto& fr : server.inbox()) {
     moved += (fr.final_holder != fr.report.origin);
   }
-  std::printf("reports that moved      : %.1f%% (final holder != origin)\n",
-              100.0 * static_cast<double>(moved) /
-                  static_cast<double>(server.num_received()));
+  if (server.num_received() > 0) {
+    std::printf("reports that moved      : %.1f%% (final holder != origin)\n",
+                100.0 * static_cast<double>(moved) /
+                    static_cast<double>(server.num_received()));
+  } else {
+    std::printf("reports that moved      : n/a (empty inbox)\n");
+  }
   return 0;
 }

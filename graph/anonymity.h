@@ -1,0 +1,24 @@
+// Anonymity-set summaries of a report's position distribution.
+
+#ifndef NETSHUFFLE_GRAPH_ANONYMITY_H_
+#define NETSHUFFLE_GRAPH_ANONYMITY_H_
+
+#include <vector>
+
+namespace netshuffle {
+
+/// Effective anonymity-set size of a (possibly unnormalized) position
+/// distribution: the inverse participation ratio (sum p)^2 / sum p^2.
+/// Equals n for the uniform distribution over n users and 1 for a point mass.
+inline double EffectiveAnonymitySetSize(const std::vector<double>& position) {
+  double total = 0.0, sq = 0.0;
+  for (double x : position) {
+    total += x;
+    sq += x * x;
+  }
+  return sq > 0.0 ? (total * total) / sq : 0.0;
+}
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_GRAPH_ANONYMITY_H_

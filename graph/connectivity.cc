@@ -1,0 +1,69 @@
+#include "graph/connectivity.h"
+
+#include <queue>
+
+namespace netshuffle {
+
+std::vector<int> ConnectedComponents(const Graph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<int> component(n, -1);
+  int next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (component[s] != -1) continue;
+    component[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const NodeId* v = g.neighbors_begin(u); v != g.neighbors_end(u);
+           ++v) {
+        if (component[*v] == -1) {
+          component[*v] = next;
+          stack.push_back(*v);
+        }
+      }
+    }
+    ++next;
+  }
+  return component;
+}
+
+bool IsConnected(const Graph& g) {
+  const auto c = ConnectedComponents(g);
+  for (int id : c) {
+    if (id != 0) return false;
+  }
+  return true;
+}
+
+bool IsBipartite(const Graph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<int8_t> color(n, -1);
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (color[s] != -1 || g.degree(s) == 0) continue;
+    color[s] = 0;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const NodeId* v = g.neighbors_begin(u); v != g.neighbors_end(u);
+           ++v) {
+        if (color[*v] == -1) {
+          color[*v] = static_cast<int8_t>(1 - color[u]);
+          stack.push_back(*v);
+        } else if (color[*v] == color[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool IsErgodic(const Graph& g) {
+  return g.num_nodes() > 0 && IsConnected(g) && !IsBipartite(g);
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,26 @@
+// Connectivity / ergodicity checks for the random-walk engine.
+
+#ifndef NETSHUFFLE_GRAPH_CONNECTIVITY_H_
+#define NETSHUFFLE_GRAPH_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace netshuffle {
+
+/// Component id (0-based, BFS discovery order) per node.
+std::vector<int> ConnectedComponents(const Graph& g);
+
+bool IsConnected(const Graph& g);
+
+/// True iff the graph is 2-colorable (isolated nodes don't count against it).
+bool IsBipartite(const Graph& g);
+
+/// A random walk on g has a unique stationary distribution it converges to
+/// from every start iff g is connected and non-bipartite.
+bool IsErgodic(const Graph& g);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_GRAPH_CONNECTIVITY_H_

@@ -1,0 +1,51 @@
+#include "graph/dynamic.h"
+
+#include <algorithm>
+
+namespace netshuffle {
+
+DynamicPositionDistribution::DynamicPositionDistribution(
+    const EdgeChurnSchedule* schedule, NodeId origin)
+    : schedule_(schedule),
+      p_(schedule->base().num_nodes(), 0.0),
+      next_(schedule->base().num_nodes(), 0.0) {
+  p_[origin] = 1.0;
+}
+
+void DynamicPositionDistribution::Step() {
+  const Graph& g = schedule_->base();
+  const size_t n = g.num_nodes();
+  std::fill(next_.begin(), next_.end(), 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const double mass = p_[u];
+    if (mass == 0.0) continue;
+    const size_t deg = g.degree(u);
+    if (deg == 0) {
+      next_[u] += mass;
+      continue;
+    }
+    // The holder picks a uniform contact; if that link is down this round,
+    // the report stays.  The per-round transition matrix is symmetric and
+    // doubly stochastic, so churn slows mixing (by ~1/uptime) without
+    // shifting the uniform stationary distribution.
+    const double share = mass / static_cast<double>(deg);
+    for (const NodeId* v = g.neighbors_begin(u); v != g.neighbors_end(u);
+         ++v) {
+      if (schedule_->EdgeUp(u, *v, time_)) {
+        next_[*v] += share;
+      } else {
+        next_[u] += share;
+      }
+    }
+  }
+  p_.swap(next_);
+  ++time_;
+}
+
+double DynamicPositionDistribution::SumSquares() const {
+  double s = 0.0;
+  for (double x : p_) s += x * x;
+  return s;
+}
+
+}  // namespace netshuffle

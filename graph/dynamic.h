@@ -1,0 +1,64 @@
+// Random walks on dynamic graphs (paper Section 4.5, fault tolerance).
+// EdgeChurnSchedule decides, statelessly per (edge, round), whether a link is
+// up; DynamicPositionDistribution tracks the exact report distribution under
+// that schedule.
+
+#ifndef NETSHUFFLE_GRAPH_DYNAMIC_H_
+#define NETSHUFFLE_GRAPH_DYNAMIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace netshuffle {
+
+class EdgeChurnSchedule {
+ public:
+  /// Each undirected edge of `base` is independently up with probability
+  /// `uptime` in every round, re-drawn per round from a hash of
+  /// (seed, round, edge) — both endpoints agree without coordination.
+  EdgeChurnSchedule(Graph base, double uptime, uint64_t seed)
+      : base_(std::move(base)), uptime_(uptime), seed_(seed) {}
+
+  const Graph& base() const { return base_; }
+  double uptime() const { return uptime_; }
+
+  bool EdgeUp(NodeId u, NodeId v, size_t round) const {
+    const uint64_t key = (static_cast<uint64_t>(u < v ? u : v) << 32) |
+                         static_cast<uint64_t>(u < v ? v : u);
+    const uint64_t h = HashCombine(seed_ + round, key);
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < uptime_;
+  }
+
+ private:
+  Graph base_;
+  double uptime_;
+  uint64_t seed_;
+};
+
+class DynamicPositionDistribution {
+ public:
+  /// The schedule must outlive this object.
+  DynamicPositionDistribution(const EdgeChurnSchedule* schedule, NodeId origin);
+
+  /// One walk step over the round's up-edges; a node with every incident link
+  /// down keeps its mass.
+  void Step();
+
+  size_t time() const { return time_; }
+  const std::vector<double>& probabilities() const { return p_; }
+  double SumSquares() const;
+
+ private:
+  const EdgeChurnSchedule* schedule_;
+  std::vector<double> p_;
+  std::vector<double> next_;
+  size_t time_ = 0;
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_GRAPH_DYNAMIC_H_

@@ -1,0 +1,195 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/connectivity.h"
+
+namespace netshuffle {
+namespace {
+
+// Pairs up stubs (node ids, one per half-edge).  Conflicting pairs
+// (self-loops / duplicates) are re-shuffled among themselves for a bounded
+// number of passes; any stubborn leftovers are dropped.
+std::vector<Edge> MatchStubs(std::vector<NodeId> stubs, Rng* rng) {
+  std::vector<Edge> edges;
+  edges.reserve(stubs.size() / 2);
+  std::vector<uint64_t> seen;  // packed (min,max) keys of accepted edges
+  seen.reserve(stubs.size() / 2);
+  auto key = [](NodeId a, NodeId b) {
+    return (static_cast<uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  };
+
+  for (int pass = 0; pass < 64 && stubs.size() >= 2; ++pass) {
+    rng->Shuffle(&stubs);
+    // Keep accepted keys sorted across passes; within a pass, sort the
+    // candidate pairs once so duplicates resolve in O(m log m), keeping one
+    // copy of each new edge and recycling the rest.
+    std::sort(seen.begin(), seen.end());
+    std::vector<std::pair<uint64_t, size_t>> candidates;  // (key, pair idx)
+    candidates.reserve(stubs.size() / 2);
+    std::vector<bool> rejected_pair(stubs.size() / 2, false);
+    for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const NodeId a = stubs[i], b = stubs[i + 1];
+      if (a == b || std::binary_search(seen.begin(), seen.end(), key(a, b))) {
+        rejected_pair[i / 2] = true;
+      } else {
+        candidates.push_back({key(a, b), i / 2});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (c > 0 && candidates[c].first == candidates[c - 1].first) {
+        rejected_pair[candidates[c].second] = true;  // in-pass duplicate
+        continue;
+      }
+      const size_t i = candidates[c].second * 2;
+      edges.push_back({stubs[i], stubs[i + 1]});
+      seen.push_back(candidates[c].first);
+    }
+
+    std::vector<NodeId> rejected;
+    for (size_t p = 0; p < rejected_pair.size(); ++p) {
+      if (rejected_pair[p]) {
+        rejected.push_back(stubs[2 * p]);
+        rejected.push_back(stubs[2 * p + 1]);
+      }
+    }
+    if (stubs.size() % 2 == 1) rejected.push_back(stubs.back());
+    if (rejected.size() == stubs.size()) break;  // no progress
+    stubs = std::move(rejected);
+  }
+  return edges;
+}
+
+}  // namespace
+
+Graph MakeRandomRegular(size_t n, size_t k, Rng* rng) {
+  std::vector<NodeId> stubs;
+  stubs.reserve(n * k);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t j = 0; j < k; ++j) stubs.push_back(static_cast<NodeId>(u));
+  }
+  if (stubs.size() % 2 == 1) stubs.pop_back();
+  return Graph::FromEdges(n, MatchStubs(std::move(stubs), rng));
+}
+
+Graph MakeTorus(size_t w, size_t h) {
+  std::vector<Edge> edges;
+  edges.reserve(2 * w * h);
+  auto id = [&](size_t x, size_t y) {
+    return static_cast<NodeId>(y * w + x);
+  };
+  for (size_t y = 0; y < h; ++y) {
+    for (size_t x = 0; x < w; ++x) {
+      edges.push_back({id(x, y), id((x + 1) % w, y)});
+      edges.push_back({id(x, y), id(x, (y + 1) % h)});
+    }
+  }
+  return Graph::FromEdges(w * h, std::move(edges));
+}
+
+Graph MakeCirculant(size_t n, size_t k) {
+  std::vector<Edge> edges;
+  const size_t half = std::max<size_t>(1, k / 2);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t d = 1; d <= half; ++d) {
+      edges.push_back({static_cast<NodeId>(u),
+                       static_cast<NodeId>((u + d) % n)});
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph MakeBarabasiAlbert(size_t n, size_t m, Rng* rng) {
+  std::vector<Edge> edges;
+  edges.reserve(n * m);
+  // Endpoint list where each node appears once per incident edge; sampling a
+  // uniform element implements preferential attachment.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * n * m);
+
+  const size_t seed_nodes = std::max<size_t>(m + 1, 2);
+  for (size_t u = 1; u < seed_nodes && u < n; ++u) {
+    edges.push_back({static_cast<NodeId>(u - 1), static_cast<NodeId>(u)});
+    endpoints.push_back(static_cast<NodeId>(u - 1));
+    endpoints.push_back(static_cast<NodeId>(u));
+  }
+  for (size_t u = seed_nodes; u < n; ++u) {
+    for (size_t j = 0; j < m; ++j) {
+      const NodeId target = endpoints[rng->UniformInt(endpoints.size())];
+      edges.push_back({static_cast<NodeId>(u), target});
+      endpoints.push_back(static_cast<NodeId>(u));
+      endpoints.push_back(target);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph MakeConfigurationModel(const std::vector<size_t>& degrees, Rng* rng) {
+  std::vector<NodeId> stubs;
+  size_t total = std::accumulate(degrees.begin(), degrees.end(), size_t{0});
+  stubs.reserve(total);
+  for (size_t u = 0; u < degrees.size(); ++u) {
+    for (size_t j = 0; j < degrees[u]; ++j) {
+      stubs.push_back(static_cast<NodeId>(u));
+    }
+  }
+  if (stubs.size() % 2 == 1) stubs.pop_back();
+  return Graph::FromEdges(degrees.size(), MatchStubs(std::move(stubs), rng));
+}
+
+Graph EnsureErgodic(Graph g, Rng* rng) {
+  const size_t n = g.num_nodes();
+  if (n < 3) return g;
+
+  std::vector<int> component = ConnectedComponents(g);
+  const int num_components =
+      component.empty()
+          ? 0
+          : 1 + *std::max_element(component.begin(), component.end());
+
+  std::vector<Edge> extra;
+  if (num_components > 1) {
+    // Chain one representative of each component to a random anchor in the
+    // largest one.
+    std::vector<NodeId> rep(static_cast<size_t>(num_components),
+                            static_cast<NodeId>(n));
+    for (NodeId u = 0; u < n; ++u) {
+      auto& r = rep[static_cast<size_t>(component[u])];
+      if (r == static_cast<NodeId>(n)) r = u;
+    }
+    for (size_t c = 1; c < rep.size(); ++c) {
+      extra.push_back({rep[0], rep[c]});
+    }
+  }
+  if (!extra.empty()) {
+    auto edges = g.EdgeList();
+    edges.insert(edges.end(), extra.begin(), extra.end());
+    g = Graph::FromEdges(n, std::move(edges));
+    extra.clear();
+  }
+
+  if (IsBipartite(g)) {
+    // Close a triangle on some node with degree >= 2 to create an odd cycle.
+    for (NodeId u = 0; u < n; ++u) {
+      if (g.degree(u) >= 2) {
+        const NodeId a = g.neighbors_begin(u)[0];
+        const NodeId b = g.neighbors_begin(u)[1];
+        extra.push_back({a, b});
+        break;
+      }
+    }
+    if (extra.empty()) {
+      // Degenerate (e.g. a single edge): add a random chord.
+      extra.push_back({static_cast<NodeId>(rng->UniformInt(n)),
+                       static_cast<NodeId>(rng->UniformInt(n))});
+    }
+    auto edges = g.EdgeList();
+    edges.insert(edges.end(), extra.begin(), extra.end());
+    g = Graph::FromEdges(n, std::move(edges));
+  }
+  return g;
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,40 @@
+// Synthetic communication-graph generators.
+
+#ifndef NETSHUFFLE_GRAPH_GENERATORS_H_
+#define NETSHUFFLE_GRAPH_GENERATORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace netshuffle {
+
+/// Random k-regular graph via stub matching with conflict re-draws.  If n*k
+/// is odd, one node ends up with degree k-1.  After too many stuck retries a
+/// handful of nodes may fall short of k; in practice (k << n) the graph is
+/// k-regular.
+Graph MakeRandomRegular(size_t n, size_t k, Rng* rng);
+
+/// w x h torus with 4-neighbor (von Neumann) connectivity.  Bipartite when
+/// both sides are even — pass an odd side for an ergodic walk.
+Graph MakeTorus(size_t w, size_t h);
+
+/// Circulant graph: node i adjacent to i +- 1 .. i +- k/2 (mod n).
+Graph MakeCirculant(size_t n, size_t k);
+
+/// Barabasi-Albert preferential attachment, m edges per arriving node.
+Graph MakeBarabasiAlbert(size_t n, size_t m, Rng* rng);
+
+/// Configuration-model graph over an explicit degree sequence (self-loops and
+/// parallel edges dropped, so realized degrees can fall slightly short).
+Graph MakeConfigurationModel(const std::vector<size_t>& degrees, Rng* rng);
+
+/// Adds the fewest edges needed to make g connected and non-bipartite
+/// (ergodic random walk), returning the patched graph.
+Graph EnsureErgodic(Graph g, Rng* rng);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_GRAPH_GENERATORS_H_

@@ -1,0 +1,59 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace netshuffle {
+
+Graph Graph::FromEdges(size_t n, std::vector<Edge> edges) {
+  // Canonicalize to (min, max), drop self-loops, dedupe.
+  size_t w = 0;
+  for (const Edge& e : edges) {
+    if (e.first == e.second) continue;
+    edges[w++] = {std::min(e.first, e.second), std::max(e.first, e.second)};
+  }
+  edges.resize(w);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges) {
+    ++g.offsets_[e.first + 1];
+    ++g.offsets_[e.second + 1];
+  }
+  for (size_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  g.adj_.resize(edges.size() * 2);
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.adj_[cursor[e.first]++] = e.second;
+    g.adj_[cursor[e.second]++] = e.first;
+  }
+  // Per-node adjacency comes out sorted because the edge list is sorted by
+  // (first, second) — except second endpoints; sort each slice for
+  // deterministic iteration order.
+  for (size_t u = 0; u < n; ++u) {
+    std::sort(g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[u]),
+              g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[u + 1]));
+  }
+  return g;
+}
+
+std::vector<Edge> Graph::EdgeList() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const NodeId* v = neighbors_begin(u); v != neighbors_end(u); ++v) {
+      if (u < *v) out.push_back({u, *v});
+    }
+  }
+  return out;
+}
+
+size_t Graph::max_degree() const {
+  size_t best = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,26 @@
+// Plain-text edge-list serialization.  Format:
+//
+//   # netshuffle-edgelist <num_nodes> <num_edges>
+//   u v
+//   ...
+//
+// The header keeps isolated nodes (and thus num_nodes) stable across a
+// save/load round trip.
+
+#ifndef NETSHUFFLE_GRAPH_IO_H_
+#define NETSHUFFLE_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace netshuffle {
+
+bool SaveEdgeList(const Graph& g, const std::string& path);
+
+/// Returns false (leaving *out untouched) if the file is missing or malformed.
+bool LoadEdgeList(const std::string& path, Graph* out);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_GRAPH_IO_H_

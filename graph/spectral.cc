@@ -1,0 +1,92 @@
+#include "graph/spectral.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace netshuffle {
+namespace {
+
+// y = S x with S = D^{-1/2} A D^{-1/2}; isolated nodes map to 0.
+void Apply(const Graph& g, const std::vector<double>& inv_sqrt_deg,
+           const std::vector<double>& x, std::vector<double>* y) {
+  const size_t n = g.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    double acc = 0.0;
+    for (const NodeId* u = g.neighbors_begin(v); u != g.neighbors_end(v);
+         ++u) {
+      acc += x[*u] * inv_sqrt_deg[*u];
+    }
+    (*y)[v] = acc * inv_sqrt_deg[v];
+  }
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+SpectralGapEstimate EstimateSpectralGap(const Graph& g, size_t max_iterations,
+                                        double tolerance) {
+  SpectralGapEstimate out;
+  const size_t n = g.num_nodes();
+  if (n < 2 || g.num_edges() == 0) return out;
+
+  std::vector<double> inv_sqrt_deg(n, 0.0);
+  std::vector<double> v1(n, 0.0);  // trivial eigenvector, sqrt(deg)/||.||
+  for (NodeId u = 0; u < n; ++u) {
+    const double d = static_cast<double>(g.degree(u));
+    if (d > 0.0) {
+      inv_sqrt_deg[u] = 1.0 / std::sqrt(d);
+      v1[u] = std::sqrt(d);
+    }
+  }
+  {
+    const double norm = std::sqrt(Dot(v1, v1));
+    for (double& x : v1) x /= norm;
+  }
+
+  Rng rng(0x5eed5eedULL + n);
+  std::vector<double> x(n), y(n);
+  for (double& xi : x) xi = rng.UniformDouble() - 0.5;
+
+  auto deflate_and_normalize = [&](std::vector<double>* vec) {
+    const double proj = Dot(*vec, v1);
+    for (size_t i = 0; i < n; ++i) (*vec)[i] -= proj * v1[i];
+    const double norm = std::sqrt(Dot(*vec, *vec));
+    if (norm > 0.0) {
+      for (double& xi : *vec) xi /= norm;
+    }
+    return norm;
+  };
+  deflate_and_normalize(&x);
+
+  double lambda = 0.0;
+  for (size_t it = 0; it < max_iterations; ++it) {
+    Apply(g, inv_sqrt_deg, x, &y);
+    // |Rayleigh quotient| of the deflated operator; x is unit length.
+    const double rayleigh = std::fabs(Dot(x, y));
+    x.swap(y);
+    const double norm = deflate_and_normalize(&x);
+    out.iterations = it + 1;
+    if (norm == 0.0) {
+      lambda = 0.0;  // operator is rank-1: only the trivial eigenvalue
+      break;
+    }
+    if (std::fabs(norm - lambda) < tolerance && it > 4) {
+      lambda = std::max(norm, rayleigh);
+      break;
+    }
+    lambda = norm;
+  }
+
+  out.lambda = std::min(lambda, 1.0);
+  out.gap = std::max(0.0, 1.0 - out.lambda);
+  return out;
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,31 @@
+// Spectral-gap estimation for the walk transition matrix via deflated power
+// iteration on the symmetrized operator S = D^{-1/2} A D^{-1/2}.
+
+#ifndef NETSHUFFLE_GRAPH_SPECTRAL_H_
+#define NETSHUFFLE_GRAPH_SPECTRAL_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "graph/walk.h"  // MixingTime pairs with the estimated gap
+
+namespace netshuffle {
+
+struct SpectralGapEstimate {
+  /// alpha = 1 - max(|lambda_2|, |lambda_n|): the absolute spectral gap
+  /// governing (1-alpha)^t mixing.  ~0 for disconnected or bipartite graphs.
+  double gap = 0.0;
+  /// The dominating non-trivial eigenvalue magnitude.
+  double lambda = 1.0;
+  size_t iterations = 0;
+};
+
+/// Power iteration with the trivial sqrt(deg) eigenvector deflated out.
+/// Deterministic (internally seeded).  O(iterations * m).
+SpectralGapEstimate EstimateSpectralGap(const Graph& g,
+                                        size_t max_iterations = 300,
+                                        double tolerance = 1e-7);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_GRAPH_SPECTRAL_H_

@@ -1,0 +1,101 @@
+#include "graph/walk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netshuffle {
+
+PositionDistribution::PositionDistribution(const Graph* graph, NodeId origin)
+    : graph_(graph),
+      p_(graph->num_nodes(), 0.0),
+      next_(graph->num_nodes(), 0.0) {
+  p_[origin] = 1.0;
+}
+
+void PositionDistribution::Step() {
+  const size_t n = graph_->num_nodes();
+  std::fill(next_.begin(), next_.end(), 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const double mass = p_[u];
+    if (mass == 0.0) continue;
+    const size_t deg = graph_->degree(u);
+    if (deg == 0) {
+      next_[u] += mass;
+      continue;
+    }
+    const double share = mass / static_cast<double>(deg);
+    for (const NodeId* v = graph_->neighbors_begin(u);
+         v != graph_->neighbors_end(u); ++v) {
+      next_[*v] += share;
+    }
+  }
+  p_.swap(next_);
+  ++time_;
+}
+
+void PositionDistribution::LazyStep(double laziness) {
+  if (laziness <= 0.0) {
+    Step();
+    return;
+  }
+  std::vector<double> before = p_;
+  Step();
+  for (size_t v = 0; v < p_.size(); ++v) {
+    p_[v] = laziness * before[v] + (1.0 - laziness) * p_[v];
+  }
+}
+
+double PositionDistribution::SumSquares() const {
+  double s = 0.0;
+  for (double x : p_) s += x * x;
+  return s;
+}
+
+double PositionDistribution::RhoStar() const {
+  const double two_m = 2.0 * static_cast<double>(graph_->num_edges());
+  if (two_m == 0.0) return 1.0;
+  double worst = 0.0;
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    const size_t deg = graph_->degree(v);
+    if (deg == 0) continue;
+    const double pi = static_cast<double>(deg) / two_m;
+    worst = std::max(worst, p_[v] / pi);
+  }
+  return std::max(worst, 1.0);
+}
+
+double StationarySumSquares(const Graph& g) {
+  const double two_m = 2.0 * static_cast<double>(g.num_edges());
+  if (two_m == 0.0) return g.num_nodes() > 0 ? 1.0 : 0.0;
+  double s = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double pi = static_cast<double>(g.degree(v)) / two_m;
+    s += pi * pi;
+  }
+  return s;
+}
+
+double StationaryGamma(const Graph& g) {
+  return static_cast<double>(g.num_nodes()) * StationarySumSquares(g);
+}
+
+double SumSquaresBound(double stationary_sum_squares, double spectral_gap,
+                       size_t t) {
+  const double contraction = std::max(0.0, 1.0 - spectral_gap);
+  return stationary_sum_squares +
+         std::pow(contraction, 2.0 * static_cast<double>(t));
+}
+
+size_t MixingTime(double spectral_gap, size_t n) {
+  // A vanishing gap (disconnected / bipartite / degenerate graph) means the
+  // walk never mixes; cap the round count so callers that drive a protocol
+  // loop with this value terminate instead of hanging, and let the
+  // amplification bounds report the (lack of) privacy honestly.
+  constexpr double kMaxRounds = 1e6;
+  const double gap = std::max(spectral_gap, 1e-12);
+  const double t =
+      std::ceil(std::log(static_cast<double>(std::max<size_t>(n, 2))) / gap);
+  return static_cast<size_t>(std::min(kMaxRounds, std::max(1.0, t)));
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,87 @@
+#include "shuffle/adversary.h"
+
+#include <algorithm>
+
+#include "graph/walk.h"
+
+namespace netshuffle {
+
+std::vector<NodeId> SampleColluders(const Graph& g, size_t count,
+                                    NodeId victim, Rng* rng) {
+  const size_t n = g.num_nodes();
+  count = std::min(count, n > 0 ? n - 1 : 0);
+  // Partial Fisher-Yates over all non-victim ids.
+  std::vector<NodeId> pool;
+  pool.reserve(n - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    if (u != victim) pool.push_back(u);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j = i + rng->UniformInt(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+CollusionAudit AnalyzeCollusion(const Graph& g,
+                                const std::vector<NodeId>& colluders,
+                                NodeId origin, size_t rounds) {
+  const size_t n = g.num_nodes();
+  std::vector<bool> colluding(n, false);
+  for (NodeId c : colluders) colluding[c] = true;
+
+  CollusionAudit audit;
+  // Sub-stochastic walk: mass entering a colluder is absorbed (= sighted).
+  std::vector<double> p(n, 0.0), next(n, 0.0);
+  if (colluding[origin]) {
+    // The origin's first forwarding already reveals it held the report only
+    // if the origin itself colludes with the curator — then it is sighted
+    // immediately.
+    audit.sighting_probability = 1.0;
+    audit.unseen_position.assign(n, 0.0);
+    return audit;
+  }
+  p[origin] = 1.0;
+
+  for (size_t t = 0; t < rounds; ++t) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      const double mass = p[u];
+      if (mass == 0.0) continue;
+      const size_t deg = g.degree(u);
+      if (deg == 0) {
+        next[u] += mass;
+        continue;
+      }
+      const double share = mass / static_cast<double>(deg);
+      for (const NodeId* v = g.neighbors_begin(u); v != g.neighbors_end(u);
+           ++v) {
+        if (!colluding[*v]) next[*v] += share;
+        // Mass sent to a colluder is absorbed: sighted.
+      }
+    }
+    p.swap(next);
+  }
+
+  double survive = 0.0;
+  for (double x : p) survive += x;
+  audit.sighting_probability = std::max(0.0, 1.0 - survive);
+
+  audit.unseen_position.assign(n, 0.0);
+  if (survive > 0.0) {
+    double sum_sq = 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      audit.unseen_position[v] = p[v] / survive;
+      sum_sq += audit.unseen_position[v] * audit.unseen_position[v];
+    }
+    const double stationary = StationarySumSquares(g);
+    audit.sum_squares_inflation = stationary > 0.0 ? sum_sq / stationary : 1.0;
+  } else {
+    audit.sighting_probability = 1.0;
+  }
+  return audit;
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,42 @@
+// Collusion analysis (paper Section 4.5): colluding users report every
+// sighting of a relayed report to the curator.  A sighted report loses its
+// walk anonymity (falls back to the eps0 LDP floor); an unsighted report's
+// position distribution is conditioned on avoiding every colluder, which
+// shrinks its anonymity set and inflates sum P^2.
+
+#ifndef NETSHUFFLE_SHUFFLE_ADVERSARY_H_
+#define NETSHUFFLE_SHUFFLE_ADVERSARY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace netshuffle {
+
+struct CollusionAudit {
+  /// P[the report visits (or ends at) a colluder within `rounds` steps].
+  double sighting_probability = 0.0;
+  /// sum P^2 of the unsighted conditional distribution relative to the
+  /// stationary collision mass (>= ~1; feeds the amplification theorems).
+  double sum_squares_inflation = 1.0;
+  /// Conditional position distribution of an unsighted report (full node
+  /// vector; zero at colluders), normalized.
+  std::vector<double> unseen_position;
+};
+
+/// Samples `count` distinct colluders uniformly among all users except the
+/// victim.
+std::vector<NodeId> SampleColluders(const Graph& g, size_t count,
+                                    NodeId victim, Rng* rng);
+
+/// Exact absorbing-walk analysis of a report injected at `origin` walking
+/// `rounds` steps against the given colluder set.
+CollusionAudit AnalyzeCollusion(const Graph& g,
+                                const std::vector<NodeId>& colluders,
+                                NodeId origin, size_t rounds);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_SHUFFLE_ADVERSARY_H_

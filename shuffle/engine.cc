@@ -1,0 +1,103 @@
+#include "shuffle/engine.h"
+
+#include <algorithm>
+
+namespace netshuffle {
+
+uint64_t ShuffleMetrics::max_user_traffic() const {
+  uint64_t best = 0;
+  for (uint64_t t : traffic_) best = std::max(best, t);
+  return best;
+}
+
+double ShuffleMetrics::mean_user_traffic() const {
+  if (traffic_.empty()) return 0.0;
+  double total = 0.0;
+  for (uint64_t t : traffic_) total += static_cast<double>(t);
+  return total / static_cast<double>(traffic_.size());
+}
+
+size_t ShuffleMetrics::max_user_memory() const {
+  size_t best = 0;
+  for (size_t h : peak_holdings_) best = std::max(best, h);
+  return best;
+}
+
+ExchangeResult RunExchange(const Graph& g, const ExchangeOptions& options) {
+  const size_t n = g.num_nodes();
+  Rng rng(options.seed);
+
+  ExchangeResult result;
+  result.rounds = options.rounds;
+  result.holdings.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    result.holdings[u].push_back(Report{u, u});
+  }
+  if (options.metrics != nullptr) {
+    for (NodeId u = 0; u < n; ++u) options.metrics->ObserveUserHoldings(u, 1);
+  }
+
+  std::vector<std::vector<Report>> next(n);
+  for (size_t round = 0; round < options.rounds; ++round) {
+    for (auto& held : next) held.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      auto& held = result.holdings[u];
+      if (held.empty()) continue;
+      const size_t deg = g.degree(u);
+      const bool awake =
+          options.faults == nullptr || options.faults->Awake(u, round, &rng);
+      if (!awake || deg == 0) {
+        // Asleep (or isolated) users keep their reports this round.
+        next[u].insert(next[u].end(), held.begin(), held.end());
+        continue;
+      }
+      for (const Report& r : held) {
+        const NodeId dest = g.neighbors_begin(u)[rng.UniformInt(deg)];
+        next[dest].push_back(r);
+      }
+      if (options.metrics != nullptr) {
+        options.metrics->AddUserTraffic(u, held.size());
+      }
+    }
+    result.holdings.swap(next);
+    if (options.metrics != nullptr) {
+      for (NodeId u = 0; u < n; ++u) {
+        options.metrics->ObserveUserHoldings(u, result.holdings[u].size());
+      }
+    }
+  }
+  return result;
+}
+
+ProtocolResult FinalizeProtocol(ExchangeResult exchange,
+                                ReportingProtocol protocol, uint64_t seed) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  ProtocolResult out;
+  out.rounds = exchange.rounds;
+  out.server_inbox.reserve(exchange.holdings.size());
+
+  for (NodeId u = 0; u < exchange.holdings.size(); ++u) {
+    auto& held = exchange.holdings[u];
+    if (held.empty()) {
+      ++out.dummy_reports;
+      continue;
+    }
+    if (protocol == ReportingProtocol::kAll) {
+      for (const Report& r : held) {
+        out.server_inbox.push_back(FinalReport{r, u});
+      }
+    } else {
+      const size_t pick = rng.UniformInt(held.size());
+      out.server_inbox.push_back(FinalReport{held[pick], u});
+      out.dropped_reports += held.size() - 1;
+    }
+  }
+  return out;
+}
+
+ProtocolResult RunProtocol(const Graph& g, ReportingProtocol protocol,
+                           const ExchangeOptions& options) {
+  return FinalizeProtocol(RunExchange(g, options), protocol, options.seed);
+}
+
+}  // namespace netshuffle

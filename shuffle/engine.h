@@ -1,0 +1,79 @@
+// The network-shuffling exchange engine: every user injects one report, and
+// each round every held report takes one random-walk hop to a uniformly
+// chosen neighbor of its holder.
+
+#ifndef NETSHUFFLE_SHUFFLE_ENGINE_H_
+#define NETSHUFFLE_SHUFFLE_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "shuffle/fault.h"
+#include "shuffle/protocol.h"
+
+namespace netshuffle {
+
+/// Complexity counters shared by the network engine and the Table-3
+/// baselines (baselines/prochlo.h, baselines/mixnet.h).
+class ShuffleMetrics {
+ public:
+  explicit ShuffleMetrics(size_t num_users)
+      : traffic_(num_users, 0), peak_holdings_(num_users, 0) {}
+
+  void AddUserTraffic(NodeId u, uint64_t sends) { traffic_[u] += sends; }
+  void ObserveUserHoldings(NodeId u, size_t held) {
+    if (held > peak_holdings_[u]) peak_holdings_[u] = held;
+  }
+  void ObserveEntityBuffer(size_t buffered) {
+    if (buffered > peak_entity_memory_) peak_entity_memory_ = buffered;
+  }
+
+  /// Peak reports buffered at any dedicated shuffling entity (0 for the
+  /// entity-free network protocol).
+  size_t peak_entity_memory() const { return peak_entity_memory_; }
+  uint64_t max_user_traffic() const;
+  double mean_user_traffic() const;
+  /// Peak reports simultaneously held by any single user.
+  size_t max_user_memory() const;
+
+ private:
+  std::vector<uint64_t> traffic_;
+  std::vector<size_t> peak_holdings_;
+  size_t peak_entity_memory_ = 0;
+};
+
+struct ExchangeOptions {
+  /// Number of exchange rounds (no automatic mixing-time default here; see
+  /// core/network_shuffler.h for the accountant-driven choice).
+  size_t rounds = 1;
+  uint64_t seed = 1;
+  /// Optional availability model; nullptr = everyone always awake.
+  const FaultModel* faults = nullptr;
+  /// Optional complexity counters, filled during the run.
+  ShuffleMetrics* metrics = nullptr;
+};
+
+struct ExchangeResult {
+  /// holdings[u] = reports user u holds after the last round.
+  std::vector<std::vector<Report>> holdings;
+  size_t rounds = 0;
+};
+
+/// Runs the report exchange.  Reports are conserved: every one of the n
+/// injected reports is held by exactly one user afterwards.
+ExchangeResult RunExchange(const Graph& g, const ExchangeOptions& options);
+
+/// Applies a reporting protocol to finished holdings, producing the
+/// curator's inbox.
+ProtocolResult FinalizeProtocol(ExchangeResult exchange,
+                                ReportingProtocol protocol, uint64_t seed);
+
+/// RunExchange + FinalizeProtocol.
+ProtocolResult RunProtocol(const Graph& g, ReportingProtocol protocol,
+                           const ExchangeOptions& options);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_SHUFFLE_ENGINE_H_

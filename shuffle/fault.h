@@ -1,0 +1,37 @@
+// Fault models for the exchange engine: a user that is asleep in a round
+// keeps every report it holds (the lazy random walk of paper Section 4.5).
+
+#ifndef NETSHUFFLE_SHUFFLE_FAULT_H_
+#define NETSHUFFLE_SHUFFLE_FAULT_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace netshuffle {
+
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+  /// Whether user u participates in this round.  `rng` is the engine's
+  /// stream, so results are reproducible per exchange seed.
+  virtual bool Awake(NodeId u, size_t round, Rng* rng) const = 0;
+};
+
+/// Each user independently sleeps with probability `laziness` per round.
+class LazyFaultModel : public FaultModel {
+ public:
+  explicit LazyFaultModel(double laziness) : laziness_(laziness) {}
+  bool Awake(NodeId /*u*/, size_t /*round*/, Rng* rng) const override {
+    return rng->UniformDouble() >= laziness_;
+  }
+  double laziness() const { return laziness_; }
+
+ private:
+  double laziness_;
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_SHUFFLE_FAULT_H_

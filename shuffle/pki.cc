@@ -1,0 +1,86 @@
+#include "shuffle/pki.h"
+
+#include "util/rng.h"
+
+namespace netshuffle {
+
+void Pki::RegisterUsers(uint32_t n) {
+  Rng rng(seed_ ^ 0xbeefULL);
+  user_keys_.resize(n);
+  for (uint32_t u = 0; u < n; ++u) user_keys_[u] = rng.Next();
+}
+
+void Pki::RegisterServer() {
+  Rng rng(seed_ ^ 0x5e7e7ULL);
+  server_key_ = rng.Next();
+  server_registered_ = true;
+}
+
+Bytes XorStream(const Bytes& data, uint64_t key, uint64_t nonce) {
+  Bytes out(data.size());
+  uint64_t state = key ^ (nonce * 0x9e3779b97f4a7c15ULL);
+  uint64_t block = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i % 8 == 0) block = SplitMix64(&state);
+    out[i] = data[i] ^ static_cast<uint8_t>(block >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+SecureRelayResult RunSecureRelaySession(const Graph& g, Pki* pki,
+                                        const std::vector<Bytes>& payloads,
+                                        size_t rounds, uint64_t seed) {
+  const size_t n = g.num_nodes();
+  Rng rng(seed);
+  SecureRelayResult result;
+
+  struct Ciphertext {
+    uint64_t nonce;  // inner-layer nonce, carried alongside c1
+    Bytes c1;        // payload under the server key
+  };
+
+  // Each user builds c1 and hands it (under the holder's outer layer, which
+  // we apply and strip per hop) to itself as the first holder.
+  std::vector<std::vector<Ciphertext>> held(n);
+  for (NodeId u = 0; u < n; ++u) {
+    Ciphertext ct;
+    ct.nonce = rng.Next();
+    ct.c1 = XorStream(payloads[u], pki->ServerKey(), ct.nonce);
+    // Outer layer for the first holder (u itself).
+    ct.c1 = XorStream(ct.c1, pki->UserKey(u), ct.nonce);
+    held[u].push_back(std::move(ct));
+  }
+
+  std::vector<std::vector<Ciphertext>> next(n);
+  for (size_t round = 0; round < rounds; ++round) {
+    for (auto& h : next) h.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      const size_t deg = g.degree(u);
+      for (Ciphertext& ct : held[u]) {
+        if (deg == 0) {
+          next[u].push_back(std::move(ct));
+          continue;
+        }
+        const NodeId dest = g.neighbors_begin(u)[rng.UniformInt(deg)];
+        // Strip our outer layer, re-wrap for the next holder.
+        ct.c1 = XorStream(ct.c1, pki->UserKey(u), ct.nonce);
+        ct.c1 = XorStream(ct.c1, pki->UserKey(dest), ct.nonce);
+        next[dest].push_back(std::move(ct));
+        ++result.relay_hops;
+      }
+    }
+    held.swap(next);
+  }
+
+  // Submission: final holders strip their outer layer; the server strips c1.
+  for (NodeId u = 0; u < n; ++u) {
+    for (Ciphertext& ct : held[u]) {
+      ct.c1 = XorStream(ct.c1, pki->UserKey(u), ct.nonce);
+      result.delivered_payloads.push_back(
+          XorStream(ct.c1, pki->ServerKey(), ct.nonce));
+    }
+  }
+  return result;
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,50 @@
+// Shared protocol types: reports, reporting modes, and the finalization step
+// that turns a finished exchange into what the untrusted curator receives.
+
+#ifndef NETSHUFFLE_SHUFFLE_PROTOCOL_H_
+#define NETSHUFFLE_SHUFFLE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace netshuffle {
+
+using Bytes = std::vector<uint8_t>;
+
+/// How users submit to the curator after the exchange rounds:
+///  - kAll: every user submits every report it holds (empty holders submit a
+///    size-padded dummy the curator can discard).
+///  - kSingle: every user submits exactly one ciphertext — one uniformly
+///    chosen held report, or an indistinguishable dummy if it holds none;
+///    surplus held reports are dropped.
+enum class ReportingProtocol { kAll, kSingle };
+
+struct Report {
+  /// The user whose randomized datum this is.
+  NodeId origin = 0;
+  /// Application payload handle (the examples store the origin's index).
+  uint64_t payload = 0;
+};
+
+/// A report as it lands at the curator.
+struct FinalReport {
+  Report report;
+  /// The user that submitted it after the walk.
+  NodeId final_holder = 0;
+};
+
+struct ProtocolResult {
+  std::vector<FinalReport> server_inbox;
+  /// Users that submitted a dummy (held nothing, or kSingle surplus slots).
+  size_t dummy_reports = 0;
+  /// Genuine reports not submitted (kSingle surplus).
+  size_t dropped_reports = 0;
+  size_t rounds = 0;
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_SHUFFLE_PROTOCOL_H_

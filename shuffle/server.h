@@ -1,0 +1,53 @@
+// The untrusted curator's view: collects final reports and exposes simple
+// coverage statistics.
+
+#ifndef NETSHUFFLE_SHUFFLE_SERVER_H_
+#define NETSHUFFLE_SHUFFLE_SERVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "shuffle/protocol.h"
+
+namespace netshuffle {
+
+class Server {
+ public:
+  explicit Server(size_t expected_users) : expected_users_(expected_users) {}
+
+  void Receive(FinalReport fr) { inbox_.push_back(fr); }
+  void ReceiveAll(std::vector<FinalReport> frs) {
+    if (inbox_.empty()) {
+      inbox_ = std::move(frs);
+    } else {
+      inbox_.insert(inbox_.end(), frs.begin(), frs.end());
+    }
+  }
+
+  size_t num_received() const { return inbox_.size(); }
+  const std::vector<FinalReport>& inbox() const { return inbox_; }
+
+  /// Fraction of the expected user population whose report arrived
+  /// (distinct origins / expected users).
+  double PayloadCoverage() const {
+    if (expected_users_ == 0) return 0.0;
+    std::vector<bool> seen(expected_users_, false);
+    size_t distinct = 0;
+    for (const FinalReport& fr : inbox_) {
+      const NodeId o = fr.report.origin;
+      if (o < expected_users_ && !seen[o]) {
+        seen[o] = true;
+        ++distinct;
+      }
+    }
+    return static_cast<double>(distinct) / static_cast<double>(expected_users_);
+  }
+
+ private:
+  size_t expected_users_;
+  std::vector<FinalReport> inbox_;
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_SHUFFLE_SERVER_H_

@@ -1,0 +1,54 @@
+#include "data/datasets.h"
+
+#include <stdexcept>
+
+#include "graph/connectivity.h"
+#include "graph/walk.h"
+#include "tests/test_util.h"
+
+using namespace netshuffle;
+
+int main() {
+  CHECK(RealWorldSpecs().size() == 5);
+  CHECK(FindSpec("twitch").n == 9498);
+  CHECK(FindSpec("google").category == std::string("web"));
+  bool threw = false;
+  try {
+    FindSpec("nope");
+  } catch (const std::out_of_range&) {
+    threw = true;
+  }
+  CHECK(threw);
+
+  // Every dataset generates ergodic at small scale with the right size and a
+  // Gamma in the neighborhood of the spec.
+  for (const auto& spec : RealWorldSpecs()) {
+    const double scale = spec.n > 100000 ? 0.01 : 0.1;
+    const auto ds = MakeDatasetByName(spec.name, 2022, scale);
+    CHECK(ds.name == spec.name);
+    CHECK(ds.target_n >= 32);
+    CHECK(ds.graph.num_nodes() == ds.target_n);
+    CHECK(IsErgodic(ds.graph));
+    CHECK_NEAR(ds.actual_gamma, StationaryGamma(ds.graph), 1e-9);
+    // Degree tuning is approximate (dedup drift), but the regular-vs-
+    // irregular split must hold and the realized Gamma must be in range.
+    CHECK(ds.actual_gamma >= 1.0);
+    CHECK(ds.actual_gamma > 0.4 * spec.gamma);
+    CHECK(ds.actual_gamma < 2.5 * spec.gamma);
+  }
+
+  // Social graphs are markedly more regular than web/comm ones.
+  const auto deezer = MakeDatasetByName("deezer", 2022, 0.1);
+  const auto enron = MakeDatasetByName("enron", 2022, 0.1);
+  CHECK(deezer.actual_gamma < enron.actual_gamma);
+
+  // Determinism in (name, seed, scale).
+  const auto a = MakeDatasetByName("twitch", 9, 0.05);
+  const auto b = MakeDatasetByName("twitch", 9, 0.05);
+  CHECK(a.graph.num_nodes() == b.graph.num_nodes());
+  CHECK(a.graph.num_edges() == b.graph.num_edges());
+  const auto c = MakeDatasetByName("twitch", 10, 0.05);
+  CHECK(a.graph.num_edges() != c.graph.num_edges() ||
+        a.actual_gamma != c.actual_gamma);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Satellite-task coverage for the amplification theorems:
+//  - EpsilonAllStationary is monotone increasing in eps0;
+//  - it scales ~O(1/sqrt(n)) in the population size;
+//  - baseline bounds respect their validity regimes;
+//  - the inverse accountant really inverts the forward bound.
+
+#include "dp/amplification.h"
+
+#include <cmath>
+#include <initializer_list>
+
+#include "tests/test_util.h"
+
+using namespace netshuffle;
+
+namespace {
+
+NetworkShufflingBoundInput MakeInput(double eps0, size_t n) {
+  NetworkShufflingBoundInput in;
+  in.epsilon0 = eps0;
+  in.n = n;
+  in.sum_p_squares = 1.0 / static_cast<double>(n);
+  in.delta = 0.5e-6;
+  in.delta2 = 0.5e-6;
+  return in;
+}
+
+}  // namespace
+
+int main() {
+  // Monotone in eps0 (and amplifying below the LDP floor in this regime).
+  double prev = 0.0;
+  for (double eps0 = 0.1; eps0 <= 4.0; eps0 += 0.1) {
+    const double eps = EpsilonAllStationary(MakeInput(eps0, 100000));
+    CHECK(std::isfinite(eps));
+    CHECK(eps > prev);
+    prev = eps;
+  }
+  for (double eps0 : {0.25, 0.5, 1.0, 2.0}) {
+    CHECK(EpsilonAllStationary(MakeInput(eps0, 100000)) < eps0);
+    CHECK(EpsilonSingle(MakeInput(eps0, 100000)) < eps0);
+  }
+
+  // ~O(1/sqrt(n)): quadrupling n roughly halves the bound.
+  const double e1 = EpsilonAllStationary(MakeInput(1.0, 100000));
+  const double e4 = EpsilonAllStationary(MakeInput(1.0, 400000));
+  const double e16 = EpsilonAllStationary(MakeInput(1.0, 1600000));
+  CHECK_NEAR(e1 / e4, 2.0, 0.3);
+  CHECK_NEAR(e4 / e16, 2.0, 0.3);
+
+  // More collisions (larger sum P^2, e.g. irregular graphs) => weaker bound.
+  auto irregular = MakeInput(1.0, 100000);
+  irregular.sum_p_squares *= 10.0;
+  CHECK(EpsilonAllStationary(irregular) >
+        EpsilonAllStationary(MakeInput(1.0, 100000)));
+
+  // The symmetric theorem coincides with the stationary bound in shape and
+  // tightens it at the same collision mass.
+  auto sym = MakeInput(1.0, 100000);
+  CHECK(EpsilonAllSymmetric(sym) <= EpsilonAllStationary(sym));
+  sym.rho_star = 50.0;  // far from stationarity => pays more
+  CHECK(EpsilonAllSymmetric(sym) > EpsilonAllSymmetric(MakeInput(1.0, 100000)));
+
+  // A_all vs A_single crossover: A_all wins at small eps0, A_single at large.
+  CHECK(EpsilonAllStationary(MakeInput(0.1, 100000)) <
+        EpsilonSingle(MakeInput(0.1, 100000)));
+  CHECK(EpsilonSingle(MakeInput(4.0, 100000)) <
+        EpsilonAllStationary(MakeInput(4.0, 100000)));
+
+  // Subsampling closed form.
+  CHECK_NEAR(EpsilonSubsampling(1.0, 0.01),
+             std::log1p(0.01 * std::expm1(1.0)), 1e-12);
+
+  // EFMRT validity gate: diverges at eps0 >= 1/2.
+  CHECK(std::isfinite(EpsilonUniformShufflingEFMRT(0.4, 100000, 1e-6)));
+  CHECK(std::isinf(EpsilonUniformShufflingEFMRT(0.5, 100000, 1e-6)));
+
+  // Clones: finite and amplifying for moderate eps0, diverges when n is too
+  // small for the budget.
+  CHECK(EpsilonUniformShufflingClones(1.0, 100000, 1e-6) < 1.0);
+  CHECK(std::isinf(EpsilonUniformShufflingClones(5.0, 100, 1e-6)));
+
+  // Paper Table-1 exponent ordering at small eps0:
+  // subsample(q=1/sqrt n) < clones < network A_all < EFMRT.
+  const size_t n = 100000;
+  const double q = 1.0 / std::sqrt(static_cast<double>(n));
+  const double sub = EpsilonSubsampling(0.25, q);
+  const double clones = EpsilonUniformShufflingClones(0.25, n, 1e-6);
+  const double net = EpsilonAllStationary(MakeInput(0.25, n));
+  const double efmrt = EpsilonUniformShufflingEFMRT(0.25, n, 1e-6);
+  CHECK(sub < clones);
+  CHECK(clones < net);
+  CHECK(net < efmrt);
+
+  // Inverse accountant: forward(eps0*) == target, and eps0* >= target.
+  const double target = 0.5;
+  const double eps0_star = MaxLocalEpsilonForCentralTarget(
+      target, n, 1.0 / static_cast<double>(n), 0.5e-6, 0.5e-6);
+  CHECK(eps0_star >= target);
+  const double forward = EpsilonAllStationary(MakeInput(eps0_star, n));
+  CHECK_NEAR(forward, target, 1e-6);
+  return 0;
+}

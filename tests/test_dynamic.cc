@@ -1,0 +1,62 @@
+// Dynamic-graph walks: churn slows mixing but conserves mass, with overhead
+// ~1/uptime (the paper's fault-tolerance argument).
+
+#include "graph/dynamic.h"
+
+#include "graph/generators.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+using namespace netshuffle;
+
+namespace {
+
+size_t RoundsToMix(DynamicPositionDistribution* d, double threshold) {
+  size_t rounds = 0;
+  while (d->SumSquares() > threshold && rounds < 10000) {
+    d->Step();
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = 1000, k = 8;
+  Rng rng(2022);
+  Graph base = MakeRandomRegular(n, k, &rng);
+  const double threshold = 1.1 / static_cast<double>(n);
+
+  // Full uptime matches the static walk's mixing behavior.
+  EdgeChurnSchedule always_up(Graph(base), 1.0, 1);
+  DynamicPositionDistribution d_up(&always_up, 0);
+  const size_t rounds_up = RoundsToMix(&d_up, threshold);
+  CHECK(rounds_up > 0 && rounds_up < 100);
+
+  // Mass conservation under churn.
+  EdgeChurnSchedule churn(Graph(base), 0.5, 7);
+  DynamicPositionDistribution d_churn(&churn, 0);
+  for (size_t t = 0; t < 20; ++t) {
+    d_churn.Step();
+    double total = 0.0;
+    for (double p : d_churn.probabilities()) total += p;
+    CHECK_NEAR(total, 1.0, 1e-9);
+  }
+  CHECK(d_churn.time() == 20);
+
+  // Lower uptime costs more rounds, but still mixes.
+  EdgeChurnSchedule churn2(Graph(base), 0.5, 7);
+  DynamicPositionDistribution d2(&churn2, 0);
+  const size_t rounds_half = RoundsToMix(&d2, threshold);
+  CHECK(rounds_half > rounds_up);
+  CHECK(rounds_half < 10000);
+
+  // The schedule is deterministic in its seed and symmetric in (u, v).
+  CHECK(churn.EdgeUp(3, 5, 2) == churn.EdgeUp(5, 3, 2));
+  EdgeChurnSchedule same(Graph(base), 0.5, 7);
+  for (size_t r = 0; r < 5; ++r) {
+    CHECK(churn.EdgeUp(1, 2, r) == same.EdgeUp(1, 2, r));
+  }
+  return 0;
+}

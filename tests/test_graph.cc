@@ -1,0 +1,71 @@
+#include "graph/graph.h"
+
+#include <cstdio>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+using namespace netshuffle;
+
+int main() {
+  // FromEdges dedupes, drops self-loops, and keeps isolated nodes.
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 0}, {1, 1}, {1, 2}, {2, 1}});
+  CHECK(g.num_nodes() == 5);
+  CHECK(g.num_edges() == 2);
+  CHECK(g.degree(0) == 1);
+  CHECK(g.degree(1) == 2);
+  CHECK(g.degree(3) == 0);
+
+  // Random regular: every node has degree k.
+  Rng rng(1);
+  Graph reg = MakeRandomRegular(2000, 8, &rng);
+  CHECK(reg.num_nodes() == 2000);
+  for (NodeId u = 0; u < reg.num_nodes(); ++u) CHECK(reg.degree(u) == 8);
+  CHECK(reg.num_edges() == 2000 * 8 / 2);
+
+  // Torus: 4-regular; odd side is ergodic, even side bipartite.
+  Graph torus = MakeTorus(9, 9);
+  for (NodeId u = 0; u < torus.num_nodes(); ++u) CHECK(torus.degree(u) == 4);
+  CHECK(IsErgodic(torus));
+  CHECK(IsBipartite(MakeTorus(8, 8)));
+  CHECK(!IsErgodic(MakeTorus(8, 8)));
+
+  // Circulant(n, k): k-regular and connected.
+  Graph circ = MakeCirculant(101, 8);
+  for (NodeId u = 0; u < circ.num_nodes(); ++u) CHECK(circ.degree(u) == 8);
+  CHECK(IsConnected(circ));
+
+  // Barabasi-Albert: connected, right edge count shape.
+  Graph ba = MakeBarabasiAlbert(3000, 4, &rng);
+  CHECK(ba.num_nodes() == 3000);
+  CHECK(IsConnected(ba));
+  CHECK(ba.max_degree() > 20);  // heavy tail exists
+
+  // Components: two disjoint triangles.
+  Graph two = Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  const auto comp = ConnectedComponents(two);
+  CHECK(comp[0] == comp[1] && comp[1] == comp[2]);
+  CHECK(comp[3] == comp[4] && comp[4] == comp[5]);
+  CHECK(comp[0] != comp[3]);
+  CHECK(!IsConnected(two));
+
+  // Edge-list IO round trip preserves structure, including isolated nodes.
+  const char* path = "test_graph_roundtrip.edges";
+  CHECK(SaveEdgeList(g, path));
+  Graph loaded;
+  CHECK(LoadEdgeList(path, &loaded));
+  CHECK(loaded.num_nodes() == g.num_nodes());
+  CHECK(loaded.num_edges() == g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    CHECK(loaded.degree(u) == g.degree(u));
+  }
+  std::remove(path);
+
+  Graph missing;
+  CHECK(!LoadEdgeList("does_not_exist.edges", &missing));
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "dp/ldp.h"
+
+#include <cmath>
+#include <vector>
+
+#include "dp/composition.h"
+#include "dp/privunit.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+using namespace netshuffle;
+
+int main() {
+  Rng rng(11);
+
+  // k-RR: keep probability matches the eps-LDP design, debiasing recovers
+  // the true proportions on a large sample.
+  const size_t k = 4, n = 400000;
+  KRandomizedResponse rr(k, 1.0);
+  CHECK_NEAR(rr.keep_probability(),
+             std::exp(1.0) / (std::exp(1.0) + 3.0), 1e-12);
+  const std::vector<double> truth{0.45, 0.3, 0.2, 0.05};
+  std::vector<uint64_t> counts(k, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t v = static_cast<uint32_t>(rng.Discrete(truth));
+    ++counts[rr.Randomize(v, &rng)];
+  }
+  const auto est = rr.DebiasCounts(counts, n);
+  for (size_t c = 0; c < k; ++c) CHECK_NEAR(est[c], truth[c], 0.01);
+
+  // Laplace mechanism: unbiased, variance 2 (range/eps)^2.
+  LaplaceMechanism lap(0.0, 10.0, 2.0);
+  CHECK_NEAR(lap.scale(), 5.0, 1e-12);
+  RunningStats s;
+  for (size_t i = 0; i < 200000; ++i) s.Add(lap.Randomize(3.0, &rng));
+  CHECK_NEAR(s.mean(), 3.0, 0.05);
+  CHECK_NEAR(s.variance(), 50.0, 2.0);
+
+  // PrivUnit: outputs have fixed norm scale() and average to the input.
+  const size_t dim = 32;
+  PrivUnit pu(dim, 2.0);
+  CHECK(pu.scale() > 1.0);
+  std::vector<double> u(dim, 0.0);
+  u[0] = 0.6;
+  u[3] = -0.8;
+  std::vector<double> mean(dim, 0.0);
+  const size_t trials = 60000;
+  for (size_t i = 0; i < trials; ++i) {
+    const auto out = pu.Randomize(u, &rng);
+    double norm_sq = 0.0;
+    for (double x : out) norm_sq += x * x;
+    CHECK_NEAR(std::sqrt(norm_sq), pu.scale(), 1e-9);
+    for (size_t j = 0; j < dim; ++j) mean[j] += out[j];
+  }
+  for (double& x : mean) x /= static_cast<double>(trials);
+  const double tol = 4.0 * pu.scale() / std::sqrt(static_cast<double>(trials));
+  CHECK_NEAR(mean[0], u[0], tol);
+  CHECK_NEAR(mean[3], u[3], tol);
+  CHECK_NEAR(mean[7], 0.0, tol);
+
+  // Composition: advanced beats basic for many small mechanisms and never
+  // reports less than a single mechanism.
+  const std::vector<double> eps(1000, 0.01);
+  const double adv = AdvancedComposition(eps, 1e-6);
+  CHECK(adv < BasicComposition(eps));
+  CHECK(adv >= 0.01);
+  CHECK_NEAR(AdvancedComposition({0.3}, 1e-6), 0.3, 1e-9);
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "util/rng.h"
+
+#include <vector>
+
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+using namespace netshuffle;
+
+int main() {
+  // Determinism: same seed, same stream.
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) CHECK(a.Next() == b.Next());
+
+  // UniformDouble in [0, 1), mean ~ 0.5.
+  Rng r(7);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = r.UniformDouble();
+    CHECK(x >= 0.0 && x < 1.0);
+    s.Add(x);
+  }
+  CHECK_NEAR(s.mean(), 0.5, 0.01);
+
+  // UniformInt stays in range and hits every bucket.
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const size_t v = r.UniformInt(10);
+    CHECK(v < 10);
+    ++hits[v];
+  }
+  for (int h : hits) CHECK(h > 500);
+
+  // Discrete respects weights (zero weight never drawn).
+  std::vector<double> w{0.0, 1.0, 3.0};
+  size_t ones = 0, twos = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const size_t v = r.Discrete(w);
+    CHECK(v == 1 || v == 2);
+    (v == 1 ? ones : twos) += 1;
+  }
+  CHECK_NEAR(static_cast<double>(twos) / static_cast<double>(ones), 3.0, 0.3);
+
+  // Laplace is centered with variance 2 b^2.
+  RunningStats lap;
+  for (int i = 0; i < 200000; ++i) lap.Add(r.Laplace(2.0));
+  CHECK_NEAR(lap.mean(), 0.0, 0.05);
+  CHECK_NEAR(lap.variance(), 8.0, 0.5);
+
+  // Gaussian moments.
+  RunningStats gauss;
+  for (int i = 0; i < 200000; ++i) gauss.Add(r.Gaussian());
+  CHECK_NEAR(gauss.mean(), 0.0, 0.02);
+  CHECK_NEAR(gauss.variance(), 1.0, 0.05);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// End-to-end facade coverage: the acceptance path of the quickstart example
+// (finite central epsilon, amplification factor > 1) plus the estimation
+// workloads.
+
+#include "core/network_shuffler.h"
+
+#include <cmath>
+
+#include "estimation/mean_estimation.h"
+#include "estimation/summation.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+using namespace netshuffle;
+
+int main() {
+  // Quickstart acceptance: n=1000, k=8, eps0=1.0 must amplify.
+  {
+    Rng rng(2022);
+    Graph g = MakeRandomRegular(1000, 8, &rng);
+    NetworkShuffler shuffler(std::move(g), {});
+    CHECK(shuffler.spectral_gap() > 0.1);
+    CHECK(shuffler.rounds() >= 1);
+    CHECK_NEAR(shuffler.Gamma(), 1.0, 0.1);  // regular graph at mixing time
+
+    const PrivacyParams central = shuffler.CappedGuarantee(1.0);
+    CHECK(std::isfinite(central.epsilon));
+    CHECK(central.epsilon < 1.0);  // amplification factor > 1
+    CHECK(central.epsilon > 0.0);
+    CHECK(central.delta > 0.0);
+    CHECK(central.delta < 1e-5);
+
+    // Capping: at an absurd local budget the guarantee falls back to eps0.
+    const PrivacyParams capped = shuffler.CappedGuarantee(20.0);
+    CHECK_NEAR(capped.epsilon, 20.0, 1e-12);
+
+    // Raw vs capped agree in the amplifying regime.
+    CHECK_NEAR(shuffler.CentralGuarantee(1.0).epsilon, central.epsilon,
+               1e-12);
+
+    const ProtocolResult run = shuffler.Run();
+    CHECK(run.server_inbox.size() == 1000);
+  }
+
+  // Config knobs: explicit rounds respected; kSingle wins at large eps0.
+  {
+    Rng rng(3);
+    Graph g = MakeRandomRegular(2000, 8, &rng);
+    NetworkShufflerConfig cfg;
+    cfg.rounds = 7;
+    NetworkShuffler fixed(Graph(g), cfg);
+    CHECK(fixed.rounds() == 7);
+
+    NetworkShufflerConfig single_cfg;
+    single_cfg.protocol = ReportingProtocol::kSingle;
+    NetworkShuffler all(Graph(g), {});
+    NetworkShuffler single(Graph(g), single_cfg);
+    CHECK(single.CentralGuarantee(4.0).epsilon <
+          all.CentralGuarantee(4.0).epsilon);
+  }
+
+  // Mean estimation: the network protocols lose utility relative to the
+  // trusted shuffler, and A_all beats A_single (dummies + drops).
+  {
+    Rng rng(5);
+    Graph g = MakeRandomRegular(1500, 8, &rng);
+    NetworkShuffler acct(Graph(g), {});
+    MeanEstimationConfig cfg;
+    cfg.dim = 32;
+    cfg.epsilon0 = 2.0;
+    cfg.rounds = acct.rounds();
+    cfg.seed = 17;
+    cfg.protocol = ReportingProtocol::kAll;
+    const auto all = RunMeanEstimation(g, cfg);
+    cfg.protocol = ReportingProtocol::kSingle;
+    const auto single = RunMeanEstimation(g, cfg);
+    const auto uniform = RunMeanEstimationUniformShuffle(1500, cfg);
+
+    CHECK(all.genuine_reports == 1500);
+    CHECK(all.dropped_reports == 0);
+    CHECK(single.genuine_reports + single.dummy_reports == 1500);
+    CHECK(single.dropped_reports > 0);
+    CHECK(std::isfinite(all.squared_error));
+    CHECK(all.squared_error < single.squared_error);
+    CHECK(uniform.squared_error < single.squared_error);
+  }
+
+  // Summation: the local model pays ~sqrt(n) over central.
+  {
+    Rng rng(9);
+    std::vector<double> values(10000, 0.0);
+    for (size_t i = 0; i < values.size() / 2; ++i) values[i] = 1.0;
+    const double central = SummationRmse(values, 0.5, true, 300, &rng);
+    const double local = SummationRmse(values, 0.5, false, 300, &rng);
+    const double ratio = local / central;
+    CHECK(ratio > 0.3 * std::sqrt(10000.0));
+    CHECK(ratio < 3.0 * std::sqrt(10000.0));
+  }
+  return 0;
+}

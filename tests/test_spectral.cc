@@ -1,0 +1,48 @@
+#include "graph/spectral.h"
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/walk.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+using namespace netshuffle;
+
+int main() {
+  // Odd cycle C_n (circulant with k=2): eigenvalues cos(2 pi j / n), so the
+  // dominant non-trivial magnitude is |cos(pi (n-1)/n)| = cos(pi/n) — the
+  // near -1 end of the spectrum, which the *absolute* gap must capture.
+  const size_t n = 101;
+  Graph cycle = MakeCirculant(n, 2);
+  const auto est = EstimateSpectralGap(cycle, 20000, 1e-10);
+  const double expected =
+      std::cos(3.14159265358979323846 / static_cast<double>(n));
+  CHECK_NEAR(est.lambda, expected, 1e-3);
+  CHECK_NEAR(est.gap, 1.0 - expected, 1e-3);
+
+  // Complete-ish dense circulant mixes almost instantly: large gap.
+  Graph dense = MakeCirculant(64, 62);
+  CHECK(EstimateSpectralGap(dense).gap > 0.9);
+
+  // Random 8-regular graphs are expanders: gap comfortably above the cycle's
+  // and below 1.
+  Rng rng(3);
+  Graph reg = MakeRandomRegular(4000, 8, &rng);
+  const auto reg_est = EstimateSpectralGap(reg);
+  CHECK(reg_est.gap > 0.15);
+  CHECK(reg_est.gap < 1.0);
+
+  // The estimated gap actually predicts mixing: after MixingTime rounds the
+  // exact collision mass is within a constant of stationary.
+  const size_t t_mix = MixingTime(reg_est.gap, reg.num_nodes());
+  PositionDistribution d(&reg, 0);
+  for (size_t t = 0; t < t_mix; ++t) d.Step();
+  CHECK(d.SumSquares() <
+        2.0 / static_cast<double>(reg.num_nodes()));
+
+  // Bipartite graph: |lambda_n| = 1, so the absolute gap collapses to ~0.
+  Graph even_torus = MakeTorus(8, 8);
+  CHECK(EstimateSpectralGap(even_torus).gap < 0.05);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Tiny dependency-free check macros for the ctest suite.  A failed check
+// prints the expression and location and exits non-zero; main() returning 0
+// marks the test passed.
+
+#ifndef NETSHUFFLE_TESTS_TEST_UTIL_H_
+#define NETSHUFFLE_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#define CHECK(cond)                                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #cond);                                       \
+      std::exit(1);                                                        \
+    }                                                                      \
+  } while (0)
+
+#define CHECK_NEAR(a, b, tol)                                              \
+  do {                                                                     \
+    const double va = (a), vb = (b), vtol = (tol);                         \
+    if (!(std::fabs(va - vb) <= vtol)) {                                   \
+      std::fprintf(stderr,                                                 \
+                   "CHECK_NEAR failed at %s:%d: %s=%g vs %s=%g (tol %g)\n",\
+                   __FILE__, __LINE__, #a, va, #b, vb, vtol);              \
+      std::exit(1);                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // NETSHUFFLE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,104 @@
+// Deterministic, seedable PRNG (xoshiro256**) plus the handful of
+// distributions the simulators need.  Not cryptographic — the secure relay
+// path (shuffle/pki.h) keys its toy stream cipher off this too, which is fine
+// for a simulation and documented as such there.
+
+#ifndef NETSHUFFLE_UTIL_RNG_H_
+#define NETSHUFFLE_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace netshuffle {
+
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of two words; used where per-(round, edge) coin flips
+/// must be recomputable without storing them (graph/dynamic.h).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return SplitMix64(&s);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (int i = 0; i < 4; ++i) s_[i] = SplitMix64(&sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in {0, ..., bound-1}; bound must be > 0.
+  size_t UniformInt(size_t bound) {
+    // Multiply-shift; bias is negligible for the bounds used here (< 2^40).
+    return static_cast<size_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Standard normal via Box-Muller (no cached spare; simpler determinism).
+  double Gaussian() {
+    double u1 = UniformDouble();
+    while (u1 <= 0.0) u1 = UniformDouble();
+    const double u2 = UniformDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  /// Laplace with scale b (location 0).
+  double Laplace(double b) {
+    const double u = UniformDouble() - 0.5;
+    return (u < 0.0 ? b : -b) * std::log(1.0 - 2.0 * std::fabs(u));
+  }
+
+  /// Samples an index proportionally to the (non-negative) weights.
+  size_t Discrete(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double x = UniformDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0.0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = UniformInt(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_UTIL_RNG_H_

@@ -1,0 +1,42 @@
+// Streaming moment accumulator (Welford) used by the experiment harnesses.
+
+#ifndef NETSHUFFLE_UTIL_STATS_H_
+#define NETSHUFFLE_UTIL_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace netshuffle {
+
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(count_);
+    m2_ += d * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_UTIL_STATS_H_

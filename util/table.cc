@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace netshuffle {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::NewRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Add(std::string cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::AddInt(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return Add(buf);
+}
+
+Table& Table::AddDouble(double v, int precision) {
+  char buf[64];
+  if (std::isinf(v)) {
+    std::snprintf(buf, sizeof(buf), v > 0 ? "inf" : "-inf");
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  }
+  return Add(buf);
+}
+
+Table& Table::AddSci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return Add(buf);
+}
+
+void Table::Print(const std::string& caption) const {
+  if (!caption.empty()) std::printf("%s\n", caption.c_str());
+
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c >= widths.size()) widths.push_back(row[c].size());
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      std::printf("%-*s%s", static_cast<int>(widths[c]), s.c_str(),
+                  c + 1 < widths.size() ? "  " : "");
+    }
+    std::printf("\n");
+  };
+
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::string rule(total > 2 ? total - 2 : total, '-');
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,40 @@
+// Minimal fixed-width table printer for the experiment harnesses.  All cell
+// appenders return *this so rows can be built fluently:
+//
+//   Table t({"n", "eps"});
+//   t.NewRow().AddInt(1000).AddDouble(0.5, 4);
+//   t.Print();
+
+#ifndef NETSHUFFLE_UTIL_TABLE_H_
+#define NETSHUFFLE_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace netshuffle {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent Add* calls append cells to it.
+  Table& NewRow();
+
+  Table& Add(std::string cell);
+  Table& AddInt(long long v);
+  Table& AddDouble(double v, int precision);
+  /// Scientific notation, e.g. 1.234e-05.
+  Table& AddSci(double v, int precision);
+
+  /// Prints the optional caption (verbatim, then a newline) and the table to
+  /// stdout.  Short rows are padded with empty cells.
+  void Print(const std::string& caption = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_UTIL_TABLE_H_
