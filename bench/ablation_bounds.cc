@@ -14,6 +14,7 @@
 
 #include "core/accounting.h"
 #include "dp/amplification.h"
+#include "experiment_common.h"
 #include "graph/generators.h"
 #include "graph/spectral.h"
 #include "graph/walk.h"
@@ -22,6 +23,7 @@
 using namespace netshuffle;
 
 int main() {
+  BenchRunner bench("ablation_bounds");
   const size_t n = 5000, k = 8;
   const double eps0 = 1.0;
   Rng rng(2022);
@@ -114,6 +116,7 @@ int main() {
     in.delta = in.delta2 = 0.5e-6;
     const double closed = EpsilonAllStationary(in);
     const auto mc = MonteCarloEpsilonAll(g, t, eps0, 1e-6, 40, 0.95, 99);
+    bench.SetHeadline("mc_p95_eps_t32", mc.epsilon_quantile);
     m.NewRow()
         .AddInt(static_cast<long long>(t))
         .AddDouble(closed, 4)

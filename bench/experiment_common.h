@@ -3,13 +3,18 @@
 #ifndef NETSHUFFLE_BENCH_EXPERIMENT_COMMON_H_
 #define NETSHUFFLE_BENCH_EXPERIMENT_COMMON_H_
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "data/datasets.h"
 #include "graph/io.h"
 #include "graph/walk.h"
+#include "util/parallel.h"
 
 namespace netshuffle {
 
@@ -41,6 +46,104 @@ inline double EnvScale() {
   }
   return v;
 }
+
+/// Thread override for the parallel hot paths — the sibling knob of
+/// NS_SCALE.  NS_THREADS=4 pins the pool width; unset or 0 means hardware
+/// concurrency; garbage is rejected with a warning (parsing lives in
+/// util/parallel.h so the library shares it).  Thread count never changes
+/// results, only wall time: see DESIGN.md "Parallel execution model".
+inline size_t EnvThreads() { return EnvThreadCount(); }
+
+/// Times a harness and emits BENCH_<name>.json so the perf trajectory is
+/// machine-readable across PRs.  Construct one at the top of main(); the
+/// file is written when it goes out of scope.  Schema:
+///
+///   {
+///     "name": "fig4_privacy_rounds",      // harness name
+///     "threads": 4,                       // effective NS_THREADS
+///     "scale": 0.05,                      // effective NS_SCALE
+///     "wall_seconds": 1.234567,           // whole-harness wall time
+///     "headline": {"metric": "...", "value": ...},   // the one number to
+///                                                    // track across PRs
+///     "metrics": {"...": ..., ...}        // optional extras
+///   }
+///
+/// Non-finite values are serialized as null.  Output lands in the working
+/// directory unless NS_BENCH_DIR overrides it.
+class BenchRunner {
+ public:
+  explicit BenchRunner(std::string name)
+      : name_(std::move(name)),
+        threads_(EnvThreads()),
+        scale_(EnvScale()),
+        start_(std::chrono::steady_clock::now()) {}
+
+  BenchRunner(const BenchRunner&) = delete;
+  BenchRunner& operator=(const BenchRunner&) = delete;
+
+  /// The one number future PRs track for this harness (last call wins).
+  void SetHeadline(const std::string& metric, double value) {
+    headline_metric_ = metric;
+    headline_value_ = value;
+  }
+
+  /// Extra key/value pairs for the "metrics" object.
+  void AddMetric(const std::string& key, double value) {
+    extras_.emplace_back(key, value);
+  }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  ~BenchRunner() {
+    const char* dir = std::getenv("NS_BENCH_DIR");
+    const std::string path = std::string(dir != nullptr && *dir != '\0'
+                                             ? dir
+                                             : ".") +
+                             "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchRunner: cannot write %s\n", path.c_str());
+      return;
+    }
+    const double wall = elapsed_seconds();
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"name\": \"%s\",\n", name_.c_str());
+    std::fprintf(f, "  \"threads\": %zu,\n", threads_);
+    std::fprintf(f, "  \"scale\": %s,\n", Number(scale_).c_str());
+    std::fprintf(f, "  \"wall_seconds\": %s,\n", Number(wall).c_str());
+    std::fprintf(f, "  \"headline\": {\"metric\": \"%s\", \"value\": %s},\n",
+                 headline_metric_.c_str(), Number(headline_value_).c_str());
+    std::fprintf(f, "  \"metrics\": {");
+    for (size_t i = 0; i < extras_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                   extras_[i].first.c_str(), Number(extras_[i].second).c_str());
+    }
+    std::fprintf(f, "}\n}\n");
+    std::fclose(f);
+    std::printf("[bench] %s: %.3fs at %zu thread%s -> %s\n", name_.c_str(),
+                wall, threads_, threads_ == 1 ? "" : "s", path.c_str());
+  }
+
+ private:
+  static std::string Number(double v) {
+    if (!std::isfinite(v)) return "null";  // keep the JSON parseable
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+  }
+
+  std::string name_;
+  size_t threads_;
+  double scale_;
+  std::chrono::steady_clock::time_point start_;
+  std::string headline_metric_ = "unset";
+  double headline_value_ = 0.0;
+  std::vector<std::pair<std::string, double>> extras_;
+};
 
 /// Builds (or reloads from an on-disk cache) a synthetic dataset.  The cache
 /// makes repeated bench invocations fast; delete *.edges files to refresh.

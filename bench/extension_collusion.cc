@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "dp/amplification.h"
+#include "experiment_common.h"
 #include "graph/generators.h"
 #include "graph/spectral.h"
 #include "graph/walk.h"
@@ -19,6 +20,7 @@
 using namespace netshuffle;
 
 int main() {
+  BenchRunner bench("extension_collusion");
   const size_t n = 2000, k = 8;
   const double eps0 = 1.0;
   Rng rng(2022);
@@ -45,6 +47,7 @@ int main() {
     const size_t count = static_cast<size_t>(frac * n);
     const auto colluders = SampleColluders(g, count, /*victim=*/0, &crng);
     const auto a = AnalyzeCollusion(g, colluders, /*origin=*/0, t);
+    bench.SetHeadline("sighting_prob_f50", a.sighting_probability);
     NetworkShufflingBoundInput in = base;
     in.sum_p_squares = base.sum_p_squares * a.sum_squares_inflation;
     table.NewRow()

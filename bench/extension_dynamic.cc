@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "dp/amplification.h"
+#include "experiment_common.h"
 #include "graph/dynamic.h"
 #include "graph/generators.h"
 #include "graph/spectral.h"
@@ -16,6 +17,7 @@
 using namespace netshuffle;
 
 int main() {
+  BenchRunner bench("extension_dynamic");
   const size_t n = 5000, k = 8;
   const double eps0 = 0.5;
   Rng rng(2022);
@@ -51,6 +53,7 @@ int main() {
       ++rounds;
     }
     base_rounds = rounds;
+    bench.SetHeadline("static_rounds_to_mix", static_cast<double>(rounds));
     t.NewRow()
         .Add("static")
         .AddInt(static_cast<long long>(rounds))

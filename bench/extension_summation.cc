@@ -7,12 +7,14 @@
 #include <cstdio>
 
 #include "estimation/summation.h"
+#include "experiment_common.h"
 #include "util/rng.h"
 #include "util/table.h"
 
 using namespace netshuffle;
 
 int main() {
+  BenchRunner bench("extension_summation");
   const double target_eps = 0.5;
   const double delta = 0.5e-6;
   const size_t kTrials = 400;
@@ -40,6 +42,7 @@ int main() {
         target_eps, n, 1.0 / static_cast<double>(n), delta, delta);
     const double shuffled =
         SummationRmse(values, eps0, /*central=*/false, kTrials, &rng);
+    bench.SetHeadline("gap_recovered_n100000", local / shuffled);
 
     t.NewRow()
         .AddInt(static_cast<long long>(n))

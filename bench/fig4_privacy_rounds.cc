@@ -18,6 +18,7 @@
 using namespace netshuffle;
 
 int main() {
+  BenchRunner bench("fig4_privacy_rounds");
   const double scale = EnvScale();
   const double eps0 = 2.0;
   const double delta = 0.5e-6, delta2 = 0.5e-6;
@@ -47,6 +48,7 @@ int main() {
   }
   std::printf("\n");
 
+  double eps_facebook_final = 0.0;
   for (size_t tstep = 1; tstep <= 1 << 14; tstep *= 2) {
     t.NewRow().AddInt(static_cast<long long>(tstep));
     for (int d = 0; d < 3; ++d) {
@@ -56,10 +58,17 @@ int main() {
       in.sum_p_squares = SumSquaresBound(stats[d].pi_sq, stats[d].gap, tstep);
       in.delta = delta;
       in.delta2 = delta2;
-      t.AddDouble(EpsilonAllStationary(in), 4);
+      const double eps = EpsilonAllStationary(in);
+      if (d == 0) eps_facebook_final = eps;
+      t.AddDouble(eps, 4);
     }
   }
   t.Print();
+  bench.SetHeadline("facebook_eps_t16384", eps_facebook_final);
+  for (int d = 0; d < 3; ++d) {
+    bench.AddMetric(std::string(names[d]) + "_t_mix",
+                    static_cast<double>(stats[d].t_mix));
+  }
 
   std::printf(
       "\nExpected shape: all three curves decrease monotonically in t and "

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dp/amplification.h"
+#include "experiment_common.h"
 #include "graph/generators.h"
 #include "graph/spectral.h"
 #include "graph/walk.h"
@@ -18,6 +19,7 @@
 using namespace netshuffle;
 
 int main() {
+  BenchRunner bench("fig5_kregular");
   const size_t n = 10000;
   const double eps0 = 0.25;
   const double delta = 0.5e-6, delta2 = 0.5e-6;
@@ -68,8 +70,9 @@ int main() {
   in.sum_p_squares = 1.0 / static_cast<double>(n);
   in.delta = delta;
   in.delta2 = delta2;
-  std::printf("\nasymptotic eps (uniform, rho*=1): %.4f\n",
-              EpsilonAllSymmetric(in));
+  const double asymptote = EpsilonAllSymmetric(in);
+  bench.SetHeadline("asymptotic_eps", asymptote);
+  std::printf("\nasymptotic eps (uniform, rho*=1): %.4f\n", asymptote);
   std::printf(
       "\nExpected shape: larger k converges to the asymptote in fewer "
       "rounds; early rounds show\nnon-monotone oscillation (exact tracking), "

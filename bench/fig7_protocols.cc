@@ -14,6 +14,7 @@
 using namespace netshuffle;
 
 int main() {
+  BenchRunner bench("fig7_protocols");
   const double scale = EnvScale();
   const double delta = 0.5e-6, delta2 = 0.5e-6;
   std::printf(
@@ -64,6 +65,7 @@ int main() {
     }
   }
   t.Print();
+  bench.SetHeadline("twitch_crossover_eps0", crossover_twitch);
   if (crossover_twitch > 0.0) {
     std::printf("\ntwitch crossover (A_single becomes better): eps0 ~ %.2f\n",
                 crossover_twitch);

@@ -6,11 +6,13 @@
 #include <cstdio>
 
 #include "dp/amplification.h"
+#include "experiment_common.h"
 #include "util/table.h"
 
 using namespace netshuffle;
 
 int main() {
+  BenchRunner bench("fig8_parameters");
   const double delta = 0.5e-6, delta2 = 0.5e-6;
   std::printf(
       "Figure 8 reproduction: stationary-limit dependence on Gamma, n and "
@@ -34,6 +36,9 @@ int main() {
           in.delta2 = delta2;
           const double eps =
               single ? EpsilonSingle(in) : EpsilonAllStationary(in);
+          if (!single && gamma == 1.0) {
+            bench.SetHeadline("a_all_G1_eps_at_eps0_2_n1e6", eps);
+          }
           t.AddDouble(eps, 4);
         }
       }

@@ -18,6 +18,7 @@
 using namespace netshuffle;
 
 int main() {
+  BenchRunner bench("fig9_mean_estimation");
   const double scale = EnvScale();
   auto ds = LoadOrMakeDataset("twitch", 2022, scale);
   const size_t n = ds.graph.num_nodes();
@@ -57,6 +58,7 @@ int main() {
       err_single.Add(r.squared_error);
       dummies = r.dummy_reports;
     }
+    bench.SetHeadline("a_all_sq_err_eps0_4", err_all.mean());
     t.NewRow()
         .AddDouble(eps0, 2)
         .AddDouble(all_acct.CentralGuarantee(eps0).epsilon, 4)

@@ -1,0 +1,85 @@
+// Shared main() driver for the google-benchmark micro suites (micro_*.cc):
+// runs the registered benchmarks with a reporter that captures every run's
+// per-iteration real time, then emits them through BenchRunner so the micro
+// suites produce the same BENCH_<name>.json trajectory files as the
+// standalone harnesses.
+
+#ifndef NETSHUFFLE_BENCH_MICRO_COMMON_H_
+#define NETSHUFFLE_BENCH_MICRO_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "experiment_common.h"
+
+namespace netshuffle {
+namespace micro_internal {
+
+// google-benchmark v1.8 replaced Run::error_occurred with the Run::skipped
+// enum; detect which field exists so the suites compile against both (the
+// dev container ships 1.7, ubuntu-latest CI 1.8+).
+template <typename R, typename = void>
+struct HasSkippedField : std::false_type {};
+template <typename R>
+struct HasSkippedField<R, std::void_t<decltype(std::declval<const R&>().skipped)>>
+    : std::true_type {};
+
+template <typename R>
+bool RunNotMeasured(const R& run) {
+  if constexpr (HasSkippedField<R>::value) {
+    return run.skipped != decltype(run.skipped){};  // {} == kNotSkipped == 0
+  } else {
+    return run.error_occurred;
+  }
+}
+
+}  // namespace micro_internal
+
+/// Console output as usual, plus a (name, per-iteration real time) record of
+/// every successful run.  Times are in each benchmark's own time unit (ns
+/// unless ->Unit() was set).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (micro_internal::RunNotMeasured(run)) continue;
+      results_.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<std::pair<std::string, double>>& results() const {
+    return results_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
+/// Runs all registered benchmarks.  BENCH_<suite>.json gets one metric per
+/// benchmark; the headline is `headline_benchmark`'s per-iteration real time
+/// (pick the case whose speedup the README tracks).
+inline int RunMicroSuite(const std::string& suite,
+                         const std::string& headline_benchmark, int argc,
+                         char** argv) {
+  BenchRunner bench(suite);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  for (const auto& result : reporter.results()) {
+    bench.AddMetric(result.first, result.second);
+    if (result.first == headline_benchmark) {
+      bench.SetHeadline(result.first + "_real_time_per_iter", result.second);
+    }
+  }
+  return 0;
+}
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_BENCH_MICRO_COMMON_H_

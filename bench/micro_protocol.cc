@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.h"
+
 #include "graph/generators.h"
 #include "shuffle/engine.h"
 #include "shuffle/pki.h"
@@ -75,3 +77,8 @@ BENCHMARK(BM_SecureRelayRound)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace netshuffle
+
+int main(int argc, char** argv) {
+  return netshuffle::RunMicroSuite("micro_protocol", "BM_ExchangeRound/100000",
+                                   argc, argv);
+}

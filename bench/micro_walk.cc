@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.h"
+
 #include "graph/generators.h"
 #include "graph/spectral.h"
 #include "graph/walk.h"
@@ -69,3 +71,8 @@ BENCHMARK(BM_StationaryGamma);
 
 }  // namespace
 }  // namespace netshuffle
+
+int main(int argc, char** argv) {
+  return netshuffle::RunMicroSuite("micro_walk", "BM_WalkStep/100000", argc,
+                                   argv);
+}

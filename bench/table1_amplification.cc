@@ -15,11 +15,13 @@
 #include <cstdio>
 
 #include "dp/amplification.h"
+#include "experiment_common.h"
 #include "util/table.h"
 
 using namespace netshuffle;
 
 int main() {
+  BenchRunner bench("table1_amplification");
   const double delta = 1e-6;
   std::printf(
       "Table 1 reproduction: central epsilon per mechanism "
@@ -89,5 +91,6 @@ int main() {
       .AddDouble(c, 4)
       .AddDouble(std::sqrt(a / c), 3);
   s.Print("\nO(1/sqrt(n)) scaling of network shuffling:");
+  bench.SetHeadline("network_a_all_eps_n1e6", c);
   return 0;
 }

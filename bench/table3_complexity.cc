@@ -11,6 +11,7 @@
 
 #include "baselines/mixnet.h"
 #include "baselines/prochlo.h"
+#include "experiment_common.h"
 #include "graph/generators.h"
 #include "graph/spectral.h"
 #include "shuffle/engine.h"
@@ -19,6 +20,7 @@
 using namespace netshuffle;
 
 int main() {
+  BenchRunner bench("table3_complexity");
   std::printf(
       "Table 3 reproduction: measured entity memory (reports buffered) and "
       "per-user traffic (reports sent).\nNetwork shuffling runs t* = "
@@ -61,6 +63,7 @@ int main() {
         .AddDouble(nm.mean_user_traffic(), 1)
         .AddInt(static_cast<long long>(rounds));
     prev_net_traffic = static_cast<size_t>(nm.mean_user_traffic());
+    bench.SetHeadline("network_mean_traffic_n16000", nm.mean_user_traffic());
   }
   (void)prev_net_traffic;
   t.Print();

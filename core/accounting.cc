@@ -7,6 +7,7 @@
 #include "dp/amplification.h"
 #include "graph/walk.h"
 #include "shuffle/engine.h"
+#include "util/parallel.h"
 
 namespace netshuffle {
 
@@ -36,33 +37,41 @@ MonteCarloAccountingResult MonteCarloEpsilonAll(const Graph& g, size_t rounds,
   in.delta2 = 0.5 * delta_total;
   const double slot_delta = 0.5 * delta_total;
 
+  // Trials are independent: each gets its own seed-derived exchange and its
+  // own copy of the bound input, and writes only its eps slot, so running
+  // them across the pool is bit-identical to the serial loop.  The exchange
+  // engine detects it is on a worker and runs its own loops inline.
   std::vector<double> eps(trials, 0.0);
-  for (size_t trial = 0; trial < trials; ++trial) {
-    ExchangeOptions opts;
-    opts.rounds = rounds;
-    opts.seed = seed + trial;
-    ExchangeResult ex = RunExchange(g, opts);
+  ParallelFor(trials, 1, [&](size_t begin, size_t end) {
+    for (size_t trial = begin; trial < end; ++trial) {
+      ExchangeOptions opts;
+      opts.rounds = rounds;
+      opts.seed = seed + trial;
+      ExchangeResult ex = RunExchange(g, opts);
 
-    // Observed slot of the victim's report: the batch it is shuffled inside
-    // before submission gives a "for free" uniform-shuffling credit on the
-    // local budget entering the walk theorem.
-    size_t slot_size = 1;
-    for (const auto& held : ex.holdings) {
-      for (const Report& r : held) {
-        if (r.origin == 0) {
-          slot_size = held.size();
-          break;
+      // Observed slot of the victim's report: the batch it is shuffled
+      // inside before submission gives a "for free" uniform-shuffling credit
+      // on the local budget entering the walk theorem.
+      size_t slot_size = 1;
+      for (const auto& held : ex.holdings) {
+        for (const Report& r : held) {
+          if (r.origin == 0) {
+            slot_size = held.size();
+            break;
+          }
         }
       }
+      const double within_slot =
+          EpsilonUniformShufflingClones(epsilon0, slot_size, slot_delta);
+      NetworkShufflingBoundInput trial_in = in;
+      trial_in.epsilon0 = std::min(epsilon0, within_slot);
+      // Both theorems are valid at the realized collision mass; certify the
+      // tighter one (the symmetric form can lose at late rounds, where its
+      // rho*-scaled slack exceeds the stationary bound's).
+      eps[trial] = std::min(EpsilonAllSymmetric(trial_in),
+                            EpsilonAllStationary(trial_in));
     }
-    const double within_slot =
-        EpsilonUniformShufflingClones(epsilon0, slot_size, slot_delta);
-    in.epsilon0 = std::min(epsilon0, within_slot);
-    // Both theorems are valid at the realized collision mass; certify the
-    // tighter one (the symmetric form can lose at late rounds, where its
-    // rho*-scaled slack exceeds the stationary bound's).
-    eps[trial] = std::min(EpsilonAllSymmetric(in), EpsilonAllStationary(in));
-  }
+  });
 
   double sum = 0.0;
   for (double e : eps) sum += e;

@@ -3,29 +3,37 @@
 #include <cmath>
 #include <vector>
 
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace netshuffle {
 namespace {
 
-// y = S x with S = D^{-1/2} A D^{-1/2}; isolated nodes map to 0.
+// y = S x with S = D^{-1/2} A D^{-1/2}; isolated nodes map to 0.  Each y[v]
+// is computed independently (adjacency order fixed), so the parallel sweep
+// is bit-identical for any thread count.
 void Apply(const Graph& g, const std::vector<double>& inv_sqrt_deg,
            const std::vector<double>& x, std::vector<double>* y) {
   const size_t n = g.num_nodes();
-  for (NodeId v = 0; v < n; ++v) {
-    double acc = 0.0;
-    for (const NodeId* u = g.neighbors_begin(v); u != g.neighbors_end(v);
-         ++u) {
-      acc += x[*u] * inv_sqrt_deg[*u];
+  ParallelFor(n, 1024, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      const NodeId node = static_cast<NodeId>(v);
+      double acc = 0.0;
+      for (const NodeId* u = g.neighbors_begin(node);
+           u != g.neighbors_end(node); ++u) {
+        acc += x[*u] * inv_sqrt_deg[*u];
+      }
+      (*y)[v] = acc * inv_sqrt_deg[v];
     }
-    (*y)[v] = acc * inv_sqrt_deg[v];
-  }
+  });
 }
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return ParallelBlockSum(a.size(), [&](size_t begin, size_t end) {
+    double s = 0.0;
+    for (size_t i = begin; i < end; ++i) s += a[i] * b[i];
+    return s;
+  });
 }
 
 }  // namespace
@@ -56,10 +64,14 @@ SpectralGapEstimate EstimateSpectralGap(const Graph& g, size_t max_iterations,
 
   auto deflate_and_normalize = [&](std::vector<double>* vec) {
     const double proj = Dot(*vec, v1);
-    for (size_t i = 0; i < n; ++i) (*vec)[i] -= proj * v1[i];
+    ParallelFor(n, 4096, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) (*vec)[i] -= proj * v1[i];
+    });
     const double norm = std::sqrt(Dot(*vec, *vec));
     if (norm > 0.0) {
-      for (double& xi : *vec) xi /= norm;
+      ParallelFor(n, 4096, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) (*vec)[i] /= norm;
+      });
     }
     return norm;
   };

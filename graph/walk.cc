@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace netshuffle {
 
 PositionDistribution::PositionDistribution(const Graph* graph, NodeId origin)
@@ -14,21 +16,32 @@ PositionDistribution::PositionDistribution(const Graph* graph, NodeId origin)
 
 void PositionDistribution::Step() {
   const size_t n = graph_->num_nodes();
-  std::fill(next_.begin(), next_.end(), 0.0);
-  for (NodeId u = 0; u < n; ++u) {
-    const double mass = p_[u];
-    if (mass == 0.0) continue;
-    const size_t deg = graph_->degree(u);
-    if (deg == 0) {
-      next_[u] += mass;
-      continue;
+  // Pull form: next[v] sums its neighbors' shares in (sorted) adjacency
+  // order, making every entry independently computable — the parallel result
+  // is bit-identical for any thread count, and matches the serial push
+  // schedule (contributions arrive in ascending sender id either way).
+  share_.resize(n);
+  ParallelFor(n, 4096, [&](size_t begin, size_t end) {
+    for (size_t u = begin; u < end; ++u) {
+      const size_t deg = graph_->degree(static_cast<NodeId>(u));
+      share_[u] = deg == 0 ? 0.0 : p_[u] / static_cast<double>(deg);
     }
-    const double share = mass / static_cast<double>(deg);
-    for (const NodeId* v = graph_->neighbors_begin(u);
-         v != graph_->neighbors_end(u); ++v) {
-      next_[*v] += share;
+  });
+  ParallelFor(n, 1024, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      const NodeId node = static_cast<NodeId>(v);
+      if (graph_->degree(node) == 0) {
+        next_[v] = p_[v];  // isolated mass stays put
+        continue;
+      }
+      double acc = 0.0;
+      for (const NodeId* u = graph_->neighbors_begin(node);
+           u != graph_->neighbors_end(node); ++u) {
+        acc += share_[*u];
+      }
+      next_[v] = acc;
     }
-  }
+  });
   p_.swap(next_);
   ++time_;
 }
@@ -40,15 +53,19 @@ void PositionDistribution::LazyStep(double laziness) {
   }
   std::vector<double> before = p_;
   Step();
-  for (size_t v = 0; v < p_.size(); ++v) {
-    p_[v] = laziness * before[v] + (1.0 - laziness) * p_[v];
-  }
+  ParallelFor(p_.size(), 4096, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      p_[v] = laziness * before[v] + (1.0 - laziness) * p_[v];
+    }
+  });
 }
 
 double PositionDistribution::SumSquares() const {
-  double s = 0.0;
-  for (double x : p_) s += x * x;
-  return s;
+  return ParallelBlockSum(p_.size(), [&](size_t begin, size_t end) {
+    double s = 0.0;
+    for (size_t i = begin; i < end; ++i) s += p_[i] * p_[i];
+    return s;
+  });
 }
 
 double PositionDistribution::RhoStar() const {

@@ -45,6 +45,7 @@ class PositionDistribution {
   const Graph* graph_;
   std::vector<double> p_;
   std::vector<double> next_;
+  std::vector<double> share_;  // p_[u]/deg(u) scratch for the pull-form step
   size_t time_ = 0;
 };
 

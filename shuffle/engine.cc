@@ -1,6 +1,9 @@
 #include "shuffle/engine.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "util/parallel.h"
 
 namespace netshuffle {
 
@@ -23,9 +26,15 @@ size_t ShuffleMetrics::max_user_memory() const {
   return best;
 }
 
+namespace {
+
+// A (destination, report) pair produced during the hop phase.
+using Move = std::pair<NodeId, Report>;
+
+}  // namespace
+
 ExchangeResult RunExchange(const Graph& g, const ExchangeOptions& options) {
   const size_t n = g.num_nodes();
-  Rng rng(options.seed);
 
   ExchangeResult result;
   result.rounds = options.rounds;
@@ -36,31 +45,84 @@ ExchangeResult RunExchange(const Graph& g, const ExchangeOptions& options) {
   if (options.metrics != nullptr) {
     for (NodeId u = 0; u < n; ++u) options.metrics->ObserveUserHoldings(u, 1);
   }
+  if (n == 0 || options.rounds == 0) return result;
+
+  // Users are sharded into contiguous ranges, one shard per pool slot.  The
+  // shard count only affects scheduling: every RNG draw comes from a
+  // per-(round, user) stream, and the merge below reassembles destination
+  // lists in ascending sender order, so the holdings are bit-identical for
+  // any thread count (including 1).
+  const size_t shards = std::min<size_t>(std::max<size_t>(ThreadCount(), 1), n);
+  std::vector<size_t> bounds(shards + 1);
+  for (size_t c = 0; c <= shards; ++c) bounds[c] = c * n / shards;
+  const auto shard_of = [&](NodeId v) {
+    return static_cast<size_t>(std::upper_bound(bounds.begin(), bounds.end(),
+                                                static_cast<size_t>(v)) -
+                               bounds.begin()) -
+           1;
+  };
 
   std::vector<std::vector<Report>> next(n);
+  // outbox[c][s]: moves produced by source shard c for destination shard s,
+  // appended in ascending sender order.
+  std::vector<std::vector<std::vector<Move>>> outbox(
+      shards, std::vector<std::vector<Move>>(shards));
+  // traffic[c]: per-shard (user, sends) counters, merged into the shared
+  // ShuffleMetrics at the end of every round instead of racing on it from
+  // worker threads.
+  std::vector<std::vector<std::pair<NodeId, uint64_t>>> traffic(shards);
+
   for (size_t round = 0; round < options.rounds; ++round) {
-    for (auto& held : next) held.clear();
-    for (NodeId u = 0; u < n; ++u) {
-      auto& held = result.holdings[u];
-      if (held.empty()) continue;
-      const size_t deg = g.degree(u);
-      const bool awake =
-          options.faults == nullptr || options.faults->Awake(u, round, &rng);
-      if (!awake || deg == 0) {
-        // Asleep (or isolated) users keep their reports this round.
-        next[u].insert(next[u].end(), held.begin(), held.end());
-        continue;
+    // Hop phase: each shard routes its users' reports into per-destination-
+    // shard outboxes.
+    GlobalPool().RunChunks(shards, [&](size_t c) {
+      for (auto& box : outbox[c]) box.clear();
+      traffic[c].clear();
+      for (NodeId u = static_cast<NodeId>(bounds[c]);
+           u < static_cast<NodeId>(bounds[c + 1]); ++u) {
+        auto& held = result.holdings[u];
+        if (held.empty()) continue;
+        // An independent stream per (seed, round, user): no draw can depend
+        // on processing order, hence none on the thread count.
+        Rng rng(HashCombine(options.seed,
+                            HashCombine(static_cast<uint64_t>(round), u)));
+        const size_t deg = g.degree(u);
+        const bool awake =
+            options.faults == nullptr || options.faults->Awake(u, round, &rng);
+        if (!awake || deg == 0) {
+          // Asleep (or isolated) users keep their reports this round.
+          auto& box = outbox[c][c];  // u's own shard holds it
+          for (const Report& r : held) box.emplace_back(u, r);
+          continue;
+        }
+        for (const Report& r : held) {
+          const NodeId dest = g.neighbors_begin(u)[rng.UniformInt(deg)];
+          outbox[c][shard_of(dest)].emplace_back(dest, r);
+        }
+        if (options.metrics != nullptr) {
+          traffic[c].emplace_back(u, static_cast<uint64_t>(held.size()));
+        }
       }
-      for (const Report& r : held) {
-        const NodeId dest = g.neighbors_begin(u)[rng.UniformInt(deg)];
-        next[dest].push_back(r);
+    });
+
+    // Merge phase: destination shard s drains source shards in ascending
+    // order, so next[v] lists reports exactly as the serial schedule would
+    // (ascending sender id), independent of shard boundaries.
+    GlobalPool().RunChunks(shards, [&](size_t s) {
+      for (size_t v = bounds[s]; v < bounds[s + 1]; ++v) next[v].clear();
+      for (size_t c = 0; c < shards; ++c) {
+        for (const Move& m : outbox[c][s]) next[m.first].push_back(m.second);
       }
-      if (options.metrics != nullptr) {
-        options.metrics->AddUserTraffic(u, held.size());
-      }
-    }
+    });
     result.holdings.swap(next);
+
+    // Metrics merge, on the coordinating thread, in shard order.
     if (options.metrics != nullptr) {
+      for (size_t c = 0; c < shards; ++c) {
+        for (const auto& t : traffic[c]) {
+          options.metrics->AddUserTraffic(t.first, t.second);
+        }
+      }
       for (NodeId u = 0; u < n; ++u) {
         options.metrics->ObserveUserHoldings(u, result.holdings[u].size());
       }

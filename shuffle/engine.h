@@ -17,6 +17,12 @@ namespace netshuffle {
 
 /// Complexity counters shared by the network engine and the Table-3
 /// baselines (baselines/prochlo.h, baselines/mixnet.h).
+///
+/// Not internally synchronized: the parallel exchange engine accumulates
+/// per-shard counters on its workers and merges them into this object from
+/// the coordinating thread at the end of every round (in shard order, so the
+/// totals are thread-count invariant).  The serial baselines call the
+/// mutators directly.
 class ShuffleMetrics {
  public:
   explicit ShuffleMetrics(size_t num_users)
