@@ -1,22 +1,23 @@
-// Ablation studies for the design choices called out in DESIGN.md:
+// Ablation studies for the design choices called out in DESIGN.md, driven
+// through the pluggable Accountant interface (core/accountant.h):
 //   (a) stationary upper bound (Eq. 7) vs exact symmetric tracking of
-//       sum P^2 — how loose is the bound at finite t;
+//       sum P^2 — StationaryBoundAccountant vs SymmetricExactAccountant on
+//       the same session;
 //   (b) lazy random walk (fault tolerance) — rounds needed to reach the
 //       same epsilon as the fault-free walk;
 //   (c) delta budget split between composition slack and report-size
-//       concentration.
-
-//   (d) closed-form Theorem 5.3 vs the data-dependent Monte-Carlo
-//       accountant (core/accounting.h) that composes per-slot epsilons from
-//       observed report sizes.
+//       concentration;
+//   (d) closed-form Theorem 5.3 vs the data-dependent MonteCarloAccountant
+//       that composes per-slot epsilons from observed report sizes.
 
 #include <cstdio>
+#include <memory>
+#include <utility>
 
-#include "core/accounting.h"
-#include "dp/amplification.h"
+#include "core/accountant.h"
+#include "core/session.h"
 #include "experiment_common.h"
 #include "graph/generators.h"
-#include "graph/spectral.h"
 #include "graph/walk.h"
 #include "util/table.h"
 
@@ -27,8 +28,29 @@ int main() {
   const size_t n = 5000, k = 8;
   const double eps0 = 1.0;
   Rng rng(2022);
-  Graph g = MakeRandomRegular(n, k, &rng);
-  const double gap = EstimateSpectralGap(g).gap;
+
+  SessionConfig config;
+  config.SetGraph(MakeRandomRegular(n, k, &rng)).SetEpsilon0(eps0).SetSeed(99);
+  Session session = Session::Create(std::move(config)).value();
+  const Graph& g = session.graph();
+  const double gap = session.spectral_gap();
+
+  StationaryBoundAccountant stationary;
+  SymmetricExactAccountant symmetric;
+  MonteCarloAccountant monte_carlo(/*trials=*/40, /*quantile=*/0.95);
+  const auto certify = [&](Accountant& acct, size_t rounds) {
+    AccountingContext ctx;
+    ctx.epsilon0 = eps0;
+    ctx.n = n;
+    ctx.rounds = rounds;
+    ctx.spectral_gap = gap;
+    ctx.stationary_sum_squares = StationarySumSquares(g);
+    ctx.delta = 0.5e-6;
+    ctx.delta2 = 0.5e-6;
+    ctx.graph = &g;
+    ctx.seed = 99;
+    return acct.Certify(ctx).epsilon;
+  };
 
   // (a) Bound vs exact.
   std::printf("Ablation (a): Eq.7 bound vs exact sum P^2 (n=%zu, k=%zu, "
@@ -38,20 +60,12 @@ int main() {
   PositionDistribution d(&g, 0);
   for (size_t t : {1u, 2u, 4u, 8u, 16u, 32u}) {
     while (d.time() < t) d.Step();
-    NetworkShufflingBoundInput exact_in, bound_in;
-    exact_in.epsilon0 = bound_in.epsilon0 = eps0;
-    exact_in.n = bound_in.n = n;
-    exact_in.delta = bound_in.delta = 0.5e-6;
-    exact_in.delta2 = bound_in.delta2 = 0.5e-6;
-    exact_in.sum_p_squares = d.SumSquares();
-    exact_in.rho_star = d.RhoStar();
-    bound_in.sum_p_squares = SumSquaresBound(1.0 / n, gap, t);
-    const double eps_exact = EpsilonAllSymmetric(exact_in);
-    const double eps_bound = EpsilonAllStationary(bound_in);
+    const double eps_exact = certify(symmetric, t);
+    const double eps_bound = certify(stationary, t);
     a.NewRow()
         .AddInt(static_cast<long long>(t))
-        .AddSci(exact_in.sum_p_squares, 3)
-        .AddSci(bound_in.sum_p_squares, 3)
+        .AddSci(d.SumSquares(), 3)
+        .AddSci(SumSquaresBound(1.0 / n, gap, t), 3)
         .AddDouble(eps_exact, 4)
         .AddDouble(eps_bound, 4)
         .AddDouble(eps_bound / eps_exact, 2);
@@ -87,17 +101,14 @@ int main() {
               "between delta (composition) and delta2 (report sizes)\n\n");
   Table c({"delta share", "delta", "delta2", "eps (Thm 5.3)"});
   for (double share : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-    NetworkShufflingBoundInput in;
-    in.epsilon0 = eps0;
-    in.n = n;
-    in.sum_p_squares = 1.0 / static_cast<double>(n);
-    in.delta = share * 1e-6;
-    in.delta2 = (1.0 - share) * 1e-6;
+    const AccountingContext ctx = FixedMassContext(
+        n, eps0, 1.0 / static_cast<double>(n), share * 1e-6,
+        (1.0 - share) * 1e-6);
     c.NewRow()
         .AddDouble(share, 1)
-        .AddSci(in.delta, 1)
-        .AddSci(in.delta2, 1)
-        .AddDouble(EpsilonAllStationary(in), 4);
+        .AddSci(ctx.delta, 1)
+        .AddSci(ctx.delta2, 1)
+        .AddDouble(stationary.Certify(ctx).epsilon, 4);
   }
   c.Print();
   std::printf("(expected: a flat optimum — the split matters little, "
@@ -106,23 +117,17 @@ int main() {
   // (d) Closed form vs data-dependent Monte-Carlo accounting.
   std::printf("\nAblation (d): Theorem 5.3 closed form vs Monte-Carlo "
               "per-slot composition (40 trials, 95th pct)\n\n");
-  Table m({"t", "eps closed form", "eps MC mean", "eps MC p95",
-           "closed/p95"});
+  bench.SetAccountant(monte_carlo.name());
+  Table m({"t", "eps closed form", "eps MC p95", "closed/p95"});
   for (size_t t : {4u, 8u, 16u, 32u}) {
-    NetworkShufflingBoundInput in;
-    in.epsilon0 = eps0;
-    in.n = n;
-    in.sum_p_squares = SumSquaresBound(1.0 / n, gap, t);
-    in.delta = in.delta2 = 0.5e-6;
-    const double closed = EpsilonAllStationary(in);
-    const auto mc = MonteCarloEpsilonAll(g, t, eps0, 1e-6, 40, 0.95, 99);
-    bench.SetHeadline("mc_p95_eps_t32", mc.epsilon_quantile);
+    const double closed = certify(stationary, t);
+    const double mc = certify(monte_carlo, t);
+    bench.SetHeadline("mc_p95_eps_t32", mc);
     m.NewRow()
         .AddInt(static_cast<long long>(t))
         .AddDouble(closed, 4)
-        .AddDouble(mc.epsilon_mean, 4)
-        .AddDouble(mc.epsilon_quantile, 4)
-        .AddDouble(closed / mc.epsilon_quantile, 2);
+        .AddDouble(mc, 4)
+        .AddDouble(closed / mc, 2);
   }
   m.Print();
   std::printf("(expected: the data-dependent accountant certifies a "

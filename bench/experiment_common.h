@@ -56,12 +56,17 @@ inline size_t EnvThreads() { return EnvThreadCount(); }
 
 /// Times a harness and emits BENCH_<name>.json so the perf trajectory is
 /// machine-readable across PRs.  Construct one at the top of main(); the
-/// file is written when it goes out of scope.  Schema:
+/// file is written when it goes out of scope.  Schema (schema_version 2
+/// added the version marker itself and the accountant name, so cross-PR
+/// tooling can refuse to compare apples to oranges):
 ///
 ///   {
+///     "schema_version": 2,
 ///     "name": "fig4_privacy_rounds",      // harness name
 ///     "threads": 4,                       // effective NS_THREADS
 ///     "scale": 0.05,                      // effective NS_SCALE
+///     "accountant": "stationary_bound",   // who certified the headline
+///                                         // (see core/accountant.h names)
 ///     "wall_seconds": 1.234567,           // whole-harness wall time
 ///     "headline": {"metric": "...", "value": ...},   // the one number to
 ///                                                    // track across PRs
@@ -87,6 +92,10 @@ class BenchRunner {
     headline_value_ = value;
   }
 
+  /// Which accountant certified the headline metric (an Accountant::name()
+  /// value, or "none" for harnesses that do no privacy accounting).
+  void SetAccountant(const std::string& name) { accountant_ = name; }
+
   /// Extra key/value pairs for the "metrics" object.
   void AddMetric(const std::string& key, double value) {
     extras_.emplace_back(key, value);
@@ -111,9 +120,11 @@ class BenchRunner {
     }
     const double wall = elapsed_seconds();
     std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema_version\": 2,\n");
     std::fprintf(f, "  \"name\": \"%s\",\n", name_.c_str());
     std::fprintf(f, "  \"threads\": %zu,\n", threads_);
     std::fprintf(f, "  \"scale\": %s,\n", Number(scale_).c_str());
+    std::fprintf(f, "  \"accountant\": \"%s\",\n", accountant_.c_str());
     std::fprintf(f, "  \"wall_seconds\": %s,\n", Number(wall).c_str());
     std::fprintf(f, "  \"headline\": {\"metric\": \"%s\", \"value\": %s},\n",
                  headline_metric_.c_str(), Number(headline_value_).c_str());
@@ -139,6 +150,7 @@ class BenchRunner {
   std::string name_;
   size_t threads_;
   double scale_;
+  std::string accountant_ = "none";
   std::chrono::steady_clock::time_point start_;
   std::string headline_metric_ = "unset";
   double headline_value_ = 0.0;

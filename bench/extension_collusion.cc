@@ -5,14 +5,16 @@
 // fraction and report (a) the probability the report is sighted within the
 // mixing time and (b) the anonymity-set shrinkage of unsighted reports
 // (inflation of sum P^2 feeding the amplification theorems), plus the
-// resulting central epsilon for unsighted reports.
+// resulting central epsilon for unsighted reports.  The clean guarantee is
+// the validated Session's; the degraded one re-queries the same accountant
+// at the inflated collision mass (spectral_gap pinned to 1).
 
 #include <cstdio>
+#include <utility>
 
-#include "dp/amplification.h"
+#include "core/session.h"
 #include "experiment_common.h"
 #include "graph/generators.h"
-#include "graph/spectral.h"
 #include "graph/walk.h"
 #include "shuffle/adversary.h"
 #include "util/table.h"
@@ -24,9 +26,20 @@ int main() {
   const size_t n = 2000, k = 8;
   const double eps0 = 1.0;
   Rng rng(2022);
-  Graph g = MakeRandomRegular(n, k, &rng);
-  const double gap = EstimateSpectralGap(g).gap;
-  const size_t t = MixingTime(gap, n);
+
+  SessionConfig config;
+  config.SetGraph(MakeRandomRegular(n, k, &rng)).SetEpsilon0(eps0);
+  Expected<Session> created = Session::Create(std::move(config));
+  if (!created.ok()) {
+    std::fprintf(stderr, "session rejected: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  Session session = std::move(created).value();
+  bench.SetAccountant(session.accountant().name());
+  const Graph& g = session.graph();
+  const double gap = session.spectral_gap();
+  const size_t t = session.mixing_rounds();
 
   std::printf(
       "Collusion extension: random %zu-regular graph, n=%zu, t=t_mix=%zu, "
@@ -35,12 +48,17 @@ int main() {
 
   Table table({"colluder %", "sighting prob", "sumP^2 inflation",
                "eps (unsighted)", "eps (no collusion)"});
-  NetworkShufflingBoundInput base;
-  base.epsilon0 = eps0;
-  base.n = n;
-  base.sum_p_squares = SumSquaresBound(1.0 / n, gap, t);
-  base.delta = base.delta2 = 0.5e-6;
-  const double eps_clean = EpsilonAllStationary(base);
+  const double base_mass =
+      SumSquaresBound(1.0 / static_cast<double>(n), gap, t);
+  const double eps_clean = session.RawGuaranteeAt(t, eps0).epsilon;
+
+  // Re-certify at an inflated collision mass through the same accountant.
+  const auto eps_inflated = [&](double inflation) {
+    return session.accountant()
+        .Certify(FixedMassContext(n, eps0, base_mass * inflation, 0.5e-6,
+                                  0.5e-6))
+        .epsilon;
+  };
 
   Rng crng(7);
   for (double frac : {0.0, 0.01, 0.05, 0.10, 0.25, 0.50}) {
@@ -48,13 +66,11 @@ int main() {
     const auto colluders = SampleColluders(g, count, /*victim=*/0, &crng);
     const auto a = AnalyzeCollusion(g, colluders, /*origin=*/0, t);
     bench.SetHeadline("sighting_prob_f50", a.sighting_probability);
-    NetworkShufflingBoundInput in = base;
-    in.sum_p_squares = base.sum_p_squares * a.sum_squares_inflation;
     table.NewRow()
         .AddDouble(100.0 * frac, 0)
         .AddDouble(a.sighting_probability, 4)
         .AddDouble(a.sum_squares_inflation, 3)
-        .AddDouble(EpsilonAllStationary(in), 4)
+        .AddDouble(eps_inflated(a.sum_squares_inflation), 4)
         .AddDouble(eps_clean, 4);
   }
   table.Print();

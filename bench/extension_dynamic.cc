@@ -5,8 +5,10 @@
 // near-stationary operating point and the resulting central epsilon.
 
 #include <cstdio>
+#include <utility>
 
-#include "dp/amplification.h"
+#include "core/accountant.h"
+#include "core/session.h"
 #include "experiment_common.h"
 #include "graph/dynamic.h"
 #include "graph/generators.h"
@@ -34,13 +36,13 @@ int main() {
   Table t({"scenario", "rounds to sumP^2<=1.05/n", "overhead",
            "eps at that t"});
 
+  // Certify at a realized collision mass through the accountant interface.
+  StationaryBoundAccountant accountant;
+  bench.SetAccountant(accountant.name());
   auto eps_at = [&](double sum_p_sq) {
-    NetworkShufflingBoundInput in;
-    in.epsilon0 = eps0;
-    in.n = n;
-    in.sum_p_squares = sum_p_sq;
-    in.delta = in.delta2 = 0.5e-6;
-    return EpsilonAllStationary(in);
+    return accountant
+        .Certify(FixedMassContext(n, eps0, sum_p_sq, 0.5e-6, 0.5e-6))
+        .epsilon;
   };
 
   size_t base_rounds = 0;
@@ -100,6 +102,28 @@ int main() {
         .AddDouble(eps_at(d.SumSquares()), 4);
   }
   t.Print();
+
+  // Session-level rewiring: run half the rounds on the base topology, swap
+  // in an independently generated k-regular graph mid-run (peers re-joined
+  // with fresh contact lists), finish, and check nothing was lost.
+  {
+    SessionConfig config;
+    config.SetGraph(Graph(base)).SetEpsilon0(eps0).SetSeed(9);
+    Session session = Session::Create(std::move(config)).value();
+    const size_t pre_rewire_rounds = session.target_rounds() / 2;
+    session.Step(pre_rewire_rounds);
+    Rng rewire_rng(77);
+    const Status rewired =
+        session.Rewire(MakeRandomRegular(n, k, &rewire_rng));
+    session.StepToTarget();
+    const auto result = session.Finalize();
+    std::printf(
+        "\nMid-run rewiring: %s after %zu of %zu rounds; %zu/%zu reports "
+        "delivered, central eps=%.4f\n",
+        rewired.ok() ? "swapped topology" : rewired.ToString().c_str(),
+        pre_rewire_rounds, session.current_round(),
+        result.server_inbox.size(), n, session.Guarantee().epsilon);
+  }
 
   std::printf(
       "\nReading: faults cost extra rounds (~1/up for churn, ~1/(1-beta) for "

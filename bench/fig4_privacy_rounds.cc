@@ -4,15 +4,16 @@
 // Plots central epsilon of A_all (stationary-distribution bound,
 // Theorem 5.3) against the number of communication rounds t; epsilon should
 // decrease monotonically and converge at around t ~ alpha^-1 log n (~10^3
-// for these graphs in the paper).
+// for these graphs in the paper).  Each dataset is validated into a Session
+// once and the curve is the session's hypothetical-round accounting query
+// (no exchange is executed — RawGuaranteeAt is a pure accountant call).
 
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
-#include "dp/amplification.h"
+#include "core/session.h"
 #include "experiment_common.h"
-#include "graph/spectral.h"
-#include "graph/walk.h"
 #include "util/table.h"
 
 using namespace netshuffle;
@@ -30,44 +31,41 @@ int main() {
   const char* names[] = {"facebook", "twitch", "deezer"};
   Table t({"t", "facebook eps", "twitch eps", "deezer eps"});
 
-  struct Stats {
-    size_t n;
-    double gap;
-    double pi_sq;
-    size_t t_mix;
-  };
-  Stats stats[3];
-  for (int d = 0; d < 3; ++d) {
-    auto ds = LoadOrMakeDataset(names[d], 2022, scale);
-    const auto gap = EstimateSpectralGap(ds.graph);
-    stats[d] = {ds.graph.num_nodes(), gap.gap,
-                StationarySumSquares(ds.graph),
-                MixingTime(gap.gap, ds.graph.num_nodes())};
-    std::printf("%-9s n=%-7zu alpha=%.5f  t_mix=alpha^-1 log n=%zu\n",
-                names[d], stats[d].n, stats[d].gap, stats[d].t_mix);
+  std::vector<Session> sessions;
+  for (const char* name : names) {
+    auto ds = LoadOrMakeDataset(name, 2022, scale);
+    SessionConfig config;
+    config.SetGraph(std::move(ds.graph))
+        .SetEpsilon0(eps0)
+        .SetDeltaSplit(delta, delta2);
+    Expected<Session> created = Session::Create(std::move(config));
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s rejected: %s\n", name,
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    sessions.push_back(std::move(created).value());
+    const Session& s = sessions.back();
+    std::printf("%-9s n=%-7zu alpha=%.5f  t_mix=alpha^-1 log n=%zu\n", name,
+                s.graph().num_nodes(), s.spectral_gap(), s.mixing_rounds());
   }
   std::printf("\n");
 
   double eps_facebook_final = 0.0;
   for (size_t tstep = 1; tstep <= 1 << 14; tstep *= 2) {
     t.NewRow().AddInt(static_cast<long long>(tstep));
-    for (int d = 0; d < 3; ++d) {
-      NetworkShufflingBoundInput in;
-      in.epsilon0 = eps0;
-      in.n = stats[d].n;
-      in.sum_p_squares = SumSquaresBound(stats[d].pi_sq, stats[d].gap, tstep);
-      in.delta = delta;
-      in.delta2 = delta2;
-      const double eps = EpsilonAllStationary(in);
+    for (size_t d = 0; d < sessions.size(); ++d) {
+      const double eps = sessions[d].RawGuaranteeAt(tstep, eps0).epsilon;
       if (d == 0) eps_facebook_final = eps;
       t.AddDouble(eps, 4);
     }
   }
   t.Print();
   bench.SetHeadline("facebook_eps_t16384", eps_facebook_final);
-  for (int d = 0; d < 3; ++d) {
+  bench.SetAccountant(sessions[0].accountant().name());
+  for (size_t d = 0; d < sessions.size(); ++d) {
     bench.AddMetric(std::string(names[d]) + "_t_mix",
-                    static_cast<double>(stats[d].t_mix));
+                    static_cast<double>(sessions[d].mixing_rounds()));
   }
 
   std::printf(

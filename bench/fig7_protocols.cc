@@ -1,12 +1,14 @@
 // Figure 7 — A_all vs A_single central epsilon as a function of eps0, on the
-// Twitch-like (n ~ 9.5k) and Google-like (n ~ 8.6x10^5) graphs.
+// Twitch-like (n ~ 9.5k) and Google-like (n ~ 8.6x10^5) graphs, queried
+// through the pluggable Accountant interface (core/accountant.h) at the
+// stationary-limit collision mass sum pi^2 + 1/n^2 (FixedMassContext).
 //
 // The reproduced crossover: A_single amplifies more at large eps0 (its bound
 // lacks the e^{4 eps0} composition factor of A_all).
 
 #include <cstdio>
 
-#include "dp/amplification.h"
+#include "core/accountant.h"
 #include "experiment_common.h"
 #include "graph/walk.h"
 #include "util/table.h"
@@ -39,6 +41,16 @@ int main() {
   }
   std::printf("\n");
 
+  StationaryBoundAccountant accountant;
+  bench.SetAccountant(accountant.name());
+  const auto certify = [&](const Ds& ds, double eps0,
+                           ReportingProtocol protocol) {
+    return accountant
+        .Certify(FixedMassContext(ds.n, eps0, ds.sum_p_sq, delta, delta2,
+                                  protocol))
+        .epsilon;
+  };
+
   Table t({"eps0", "twitch A_all", "twitch A_single", "google A_all",
            "google A_single"});
   double crossover_twitch = -1.0;
@@ -46,14 +58,8 @@ int main() {
   for (double eps0 = 0.25; eps0 <= 5.001; eps0 += 0.25) {
     t.NewRow().AddDouble(eps0, 2);
     for (const auto& ds : datasets) {
-      NetworkShufflingBoundInput in;
-      in.epsilon0 = eps0;
-      in.n = ds.n;
-      in.sum_p_squares = ds.sum_p_sq;
-      in.delta = delta;
-      in.delta2 = delta2;
-      const double all = EpsilonAllStationary(in);
-      const double single = EpsilonSingle(in);
+      const double all = certify(ds, eps0, ReportingProtocol::kAll);
+      const double single = certify(ds, eps0, ReportingProtocol::kSingle);
       t.AddDouble(all, 4).AddDouble(single, 4);
       if (ds.name == "twitch") {
         const double diff = all - single;

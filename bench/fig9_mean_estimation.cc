@@ -7,9 +7,10 @@
 // A_single's in the studied region.
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
-#include "core/network_shuffler.h"
+#include "core/session.h"
 #include "estimation/mean_estimation.h"
 #include "experiment_common.h"
 #include "util/stats.h"
@@ -31,12 +32,23 @@ int main() {
       "scale=%.2f)\n\n",
       n, dim, kTrials, scale);
 
-  // One accountant per protocol (the operating point is the mixing time).
-  NetworkShufflerConfig all_cfg, single_cfg;
-  single_cfg.protocol = ReportingProtocol::kSingle;
-  NetworkShuffler all_acct(Graph(ds.graph), all_cfg);
-  NetworkShuffler single_acct(Graph(ds.graph), single_cfg);
-  const size_t rounds = all_acct.rounds();
+  // One accounting session per protocol (the operating point is the mixing
+  // time); Create validates the dataset graph once.
+  const auto make_session = [&](ReportingProtocol protocol) {
+    SessionConfig config;
+    config.SetGraph(Graph(ds.graph)).SetProtocol(protocol);
+    Expected<Session> created = Session::Create(std::move(config));
+    if (!created.ok()) {
+      std::fprintf(stderr, "session rejected: %s\n",
+                   created.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(created).value();
+  };
+  Session all_acct = make_session(ReportingProtocol::kAll);
+  Session single_acct = make_session(ReportingProtocol::kSingle);
+  bench.SetAccountant(all_acct.accountant().name());
+  const size_t rounds = all_acct.target_rounds();
   std::printf("operating point: t = %zu rounds (alpha = %.5f)\n\n", rounds,
               all_acct.spectral_gap());
 
@@ -61,9 +73,9 @@ int main() {
     bench.SetHeadline("a_all_sq_err_eps0_4", err_all.mean());
     t.NewRow()
         .AddDouble(eps0, 2)
-        .AddDouble(all_acct.CentralGuarantee(eps0).epsilon, 4)
+        .AddDouble(all_acct.RawGuaranteeAt(rounds, eps0).epsilon, 4)
         .AddSci(err_all.mean(), 3)
-        .AddDouble(single_acct.CentralGuarantee(eps0).epsilon, 4)
+        .AddDouble(single_acct.RawGuaranteeAt(rounds, eps0).epsilon, 4)
         .AddSci(err_single.mean(), 3)
         .AddInt(static_cast<long long>(dummies));
   }

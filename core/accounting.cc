@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "dp/amplification.h"
@@ -20,6 +21,14 @@ MonteCarloAccountingResult MonteCarloEpsilonAll(const Graph& g, size_t rounds,
   out.quantile = quantile;
   out.trials = trials;
   if (trials == 0 || g.num_nodes() == 0) return out;
+  if (rounds == 0) {
+    // An unshuffled exchange certifies nothing beyond the LDP floor (and the
+    // engine rejects zero-round runs); report "no guarantee" rather than
+    // simulating.
+    out.epsilon_mean = std::numeric_limits<double>::infinity();
+    out.epsilon_quantile = out.epsilon_mean;
+    return out;
+  }
 
   // Deterministic part: the victim report's exact position distribution.
   PositionDistribution dist(&g, 0);

@@ -1,54 +1,49 @@
+// Definitions for the deprecated NetworkShuffler shim; the deprecation
+// warning is silenced here because the shim must still define itself.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 #include "core/network_shuffler.h"
 
-#include <algorithm>
+#include <utility>
 
-#include "graph/spectral.h"
-#include "graph/walk.h"
 #include "shuffle/engine.h"
 
 namespace netshuffle {
 
-NetworkShuffler::NetworkShuffler(Graph graph, NetworkShufflerConfig config)
-    : graph_(std::move(graph)), config_(config) {
-  gap_ = EstimateSpectralGap(graph_).gap;
-  rounds_ = config_.rounds > 0 ? config_.rounds
-                               : MixingTime(gap_, graph_.num_nodes());
-  sum_p_squares_bound_ =
-      SumSquaresBound(StationarySumSquares(graph_), gap_, rounds_);
-}
+namespace {
 
-double NetworkShuffler::Gamma() const {
-  return static_cast<double>(graph_.num_nodes()) * sum_p_squares_bound_;
-}
-
-PrivacyParams NetworkShuffler::CentralGuarantee(double epsilon0) const {
-  NetworkShufflingBoundInput in;
-  in.epsilon0 = epsilon0;
-  in.n = graph_.num_nodes();
-  in.sum_p_squares = sum_p_squares_bound_;
-  in.delta = config_.delta;
-  in.delta2 = config_.delta2;
-  const double eps = config_.protocol == ReportingProtocol::kSingle
-                         ? EpsilonSingle(in)
-                         : EpsilonAllStationary(in);
-  return PrivacyParams{eps, config_.delta + config_.delta2};
-}
-
-PrivacyParams NetworkShuffler::CappedGuarantee(double epsilon0) const {
-  PrivacyParams p = CentralGuarantee(epsilon0);
-  if (!(p.epsilon < epsilon0)) {
-    // The amplification argument certifies nothing beyond the LDP floor,
-    // which costs no delta.
-    return PrivacyParams{epsilon0, 0.0};
+Session BuildSession(Graph graph, const NetworkShufflerConfig& config) {
+  SessionConfig session_config;
+  session_config.SetGraph(std::move(graph))
+      .SetProtocol(config.protocol)
+      .SetRounds(config.rounds)
+      .SetDeltaSplit(config.delta, config.delta2)
+      .SetSeed(config.seed)
+      // The facade accepted any graph (it just certified nothing useful on
+      // bad ones); keep that behavior and let the numeric validation bite.
+      .AllowNonErgodic();
+  Expected<Session> session = Session::Create(std::move(session_config));
+  if (!session.ok()) {
+    NETSHUFFLE_FATAL("NetworkShuffler (deprecated) got a config Session "
+                     "rejects: " + session.status().ToString() +
+                     "; migrate to Session::Create to handle this as a "
+                     "typed error");
   }
-  return p;
+  return std::move(session).value();
 }
+
+}  // namespace
+
+NetworkShuffler::NetworkShuffler(Graph graph, NetworkShufflerConfig config)
+    : config_(config), session_(BuildSession(std::move(graph), config)) {}
 
 ProtocolResult NetworkShuffler::Run() const {
   ExchangeOptions opts;
-  opts.rounds = rounds_;
+  opts.rounds = session_.target_rounds();
   opts.seed = config_.seed;
-  return RunProtocol(graph_, config_.protocol, opts);
+  return RunProtocol(session_.graph(), config_.protocol, opts);
 }
 
 }  // namespace netshuffle

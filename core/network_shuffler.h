@@ -1,6 +1,8 @@
-// The NetworkShuffler facade: owns the communication graph, derives the
-// operating point (spectral gap -> mixing time -> sum P^2 bound), answers
-// privacy-accounting queries, and runs the protocol.
+// DEPRECATED one-shot facade, kept as a thin shim over netshuffle::Session
+// (core/session.h) for source compatibility.  New code should build a
+// SessionConfig and call Session::Create, which validates the configuration
+// into typed Status errors instead of this shim's abort-on-invalid behavior,
+// and supports incremental Step/Guarantee/Finalize execution.
 
 #ifndef NETSHUFFLE_CORE_NETWORK_SHUFFLER_H_
 #define NETSHUFFLE_CORE_NETWORK_SHUFFLER_H_
@@ -8,16 +10,10 @@
 #include <cstddef>
 #include <cstdint>
 
-#include "dp/amplification.h"
-#include "graph/graph.h"
+#include "core/session.h"
 #include "shuffle/protocol.h"
 
 namespace netshuffle {
-
-struct PrivacyParams {
-  double epsilon = 0.0;
-  double delta = 0.0;
-};
 
 struct NetworkShufflerConfig {
   ReportingProtocol protocol = ReportingProtocol::kAll;
@@ -29,36 +25,41 @@ struct NetworkShufflerConfig {
   uint64_t seed = 2022;
 };
 
-class NetworkShuffler {
+class [[deprecated(
+    "use netshuffle::Session (core/session.h): validated Create, pluggable "
+    "accountants, incremental Step/Guarantee")]] NetworkShuffler {
  public:
-  /// Takes ownership of the graph; computes the spectral gap once here.
+  /// Takes ownership of the graph.  Unlike Session::Create, this legacy
+  /// entry point cannot report typed errors: an invalid graph or config is
+  /// a fatal error (the seed behavior was NaN/+inf flowing through).
   NetworkShuffler(Graph graph, NetworkShufflerConfig config);
 
-  double spectral_gap() const { return gap_; }
-  size_t rounds() const { return rounds_; }
-  /// n * (sum P^2 bound at the operating point) — converges to the paper's
-  /// Gamma_G irregularity at the mixing time (1 for regular graphs).
-  double Gamma() const;
+  double spectral_gap() const { return session_.spectral_gap(); }
+  size_t rounds() const { return session_.target_rounds(); }
+  /// n * (sum P^2 bound at the operating point).
+  double Gamma() const { return session_.Gamma(); }
 
-  const Graph& graph() const { return graph_; }
+  const Graph& graph() const { return session_.graph(); }
   const NetworkShufflerConfig& config() const { return config_; }
 
-  /// Raw theorem guarantee (Thm 5.3 for kAll, Thm 5.5 for kSingle) at this
-  /// operating point; can exceed eps0 in weak regimes.
-  PrivacyParams CentralGuarantee(double epsilon0) const;
+  /// Raw theorem guarantee at this operating point; can exceed eps0.
+  PrivacyParams CentralGuarantee(double epsilon0) const {
+    return session_.RawGuaranteeAt(session_.target_rounds(), epsilon0);
+  }
 
   /// CentralGuarantee capped at the trivial (eps0, 0) LDP floor.
-  PrivacyParams CappedGuarantee(double epsilon0) const;
+  PrivacyParams CappedGuarantee(double epsilon0) const {
+    return session_.TargetGuarantee(epsilon0);
+  }
 
-  /// Runs the exchange + reporting protocol with the config seed.
+  /// Runs the exchange + reporting protocol with the config seed.  Stateless
+  /// across calls (every call is a fresh one-shot run), unlike
+  /// Session::Step/Run which advance the session.
   ProtocolResult Run() const;
 
  private:
-  Graph graph_;
   NetworkShufflerConfig config_;
-  double gap_ = 0.0;
-  size_t rounds_ = 0;
-  double sum_p_squares_bound_ = 1.0;
+  Session session_;
 };
 
 }  // namespace netshuffle

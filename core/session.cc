@@ -1,0 +1,210 @@
+#include "core/session.h"
+
+#include <cmath>
+#include <utility>
+
+#include "graph/connectivity.h"
+#include "graph/spectral.h"
+#include "graph/walk.h"
+
+namespace netshuffle {
+
+namespace {
+
+bool ValidSlack(double d) { return std::isfinite(d) && d > 0.0 && d < 1.0; }
+
+}  // namespace
+
+Status Session::Validate(const SessionConfig& config) {
+  if (config.graph().num_nodes() == 0) {
+    return Status::Error(StatusCode::kEmptyGraph,
+                         "the communication graph has zero users");
+  }
+  if (!std::isfinite(config.epsilon0()) || config.epsilon0() <= 0.0) {
+    return Status::Error(StatusCode::kInvalidEpsilon,
+                         "epsilon0 must be finite and > 0 (got " +
+                             std::to_string(config.epsilon0()) + ")");
+  }
+  if (!ValidSlack(config.delta()) || !ValidSlack(config.delta2()) ||
+      config.delta() + config.delta2() >= 1.0) {
+    return Status::Error(
+        StatusCode::kInvalidDelta,
+        "delta and delta2 must each lie in (0, 1) with delta + delta2 < 1 "
+        "(got delta=" + std::to_string(config.delta()) +
+            ", delta2=" + std::to_string(config.delta2()) + ")");
+  }
+  if (!config.allow_non_ergodic()) {
+    if (!IsConnected(config.graph())) {
+      return Status::Error(
+          StatusCode::kDisconnectedGraph,
+          "the graph is disconnected: reports can never mix across "
+          "components (SessionConfig::AllowNonErgodic overrides)");
+    }
+    if (!IsErgodic(config.graph())) {
+      return Status::Error(
+          StatusCode::kNonErgodicGraph,
+          "the graph is bipartite: the walk has no unique stationary limit "
+          "(SessionConfig::AllowNonErgodic overrides)");
+    }
+  }
+  if (config.require_mixed_rounds() && config.rounds() > 0) {
+    // Costs a spectral estimate that Create's constructor repeats; the
+    // duplication is confined to this opt-in check.
+    const double gap = EstimateSpectralGap(config.graph()).gap;
+    const size_t floor = MixingTime(gap, config.graph().num_nodes());
+    if (config.rounds() < floor) {
+      return Status::Error(
+          StatusCode::kRoundsBelowMixingFloor,
+          "fixed rounds " + std::to_string(config.rounds()) +
+              " is below the mixing floor alpha^-1 log n = " +
+              std::to_string(floor));
+    }
+  }
+  return Status::Ok();
+}
+
+Expected<Session> Session::Create(SessionConfig config) {
+  Status status = Validate(config);
+  if (!status.ok()) return status;
+  return Session(std::move(config));
+}
+
+Session::Session(SessionConfig config)
+    : graph_(config.ReleaseGraph()),
+      protocol_(config.protocol()),
+      epsilon0_(config.epsilon0()),
+      mechanism_name_(config.mechanism_name()),
+      delta_(config.delta()),
+      delta2_(config.delta2()),
+      seed_(config.seed()),
+      accountant_(config.accountant()),
+      faults_(config.faults()),
+      metrics_(config.metrics()),
+      allow_non_ergodic_(config.allow_non_ergodic()),
+      require_mixed_rounds_(config.require_mixed_rounds()) {
+  if (accountant_ == nullptr) {
+    accountant_ = std::make_shared<StationaryBoundAccountant>();
+  }
+  // An adopted accountant may have been used by an earlier session whose
+  // graph lived at this session's address; drop any pointer-keyed cache.
+  accountant_->OnTopologyChanged();
+  gap_ = EstimateSpectralGap(graph_).gap;
+  stationary_sum_squares_ = StationarySumSquares(graph_);
+  mixing_rounds_ = MixingTime(gap_, graph_.num_nodes());
+  rounds_fixed_ = config.rounds() > 0;
+  target_rounds_ = rounds_fixed_ ? config.rounds() : mixing_rounds_;
+  state_ = StartExchange(graph_, metrics_);
+}
+
+double Session::Gamma() const {
+  return static_cast<double>(graph_.num_nodes()) *
+         SumSquaresBound(stationary_sum_squares_, gap_, target_rounds_);
+}
+
+Status Session::Step(size_t k) {
+  if (k == 0) {
+    return Status::Error(StatusCode::kZeroRounds,
+                         "Session::Step(0): advancing zero rounds is a no-op "
+                         "the engine rejects; pass k >= 1");
+  }
+  ExchangeOptions opts;
+  opts.rounds = k;
+  opts.first_round = state_.rounds;
+  opts.seed = seed_;
+  opts.faults = faults_;
+  opts.metrics = metrics_;
+  state_ = ResumeExchange(graph_, std::move(state_), opts);
+  return Status::Ok();
+}
+
+Status Session::StepToTarget() {
+  if (state_.rounds >= target_rounds_) return Status::Ok();
+  return Step(target_rounds_ - state_.rounds);
+}
+
+Expected<size_t> Session::StepUntil(double target_epsilon, size_t max_rounds) {
+  if (!std::isfinite(target_epsilon) || target_epsilon <= 0.0) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "StepUntil: target_epsilon must be finite and > 0");
+  }
+  while (state_.rounds < max_rounds &&
+         Guarantee().epsilon > target_epsilon) {
+    const Status s = Step(1);
+    if (!s.ok()) return s;
+  }
+  return state_.rounds;
+}
+
+ProtocolResult Session::Finalize(ReportingProtocol protocol) const {
+  return FinalizeProtocol(state_, protocol, seed_);
+}
+
+ProtocolResult Session::Run() {
+  const Status s = StepToTarget();
+  if (!s.ok()) NETSHUFFLE_FATAL("Session::Run: " + s.ToString());
+  return Finalize();
+}
+
+Status Session::Rewire(Graph graph) {
+  if (graph.num_nodes() != graph_.num_nodes()) {
+    return Status::Error(
+        StatusCode::kGraphMismatch,
+        "Rewire: replacement graph has " + std::to_string(graph.num_nodes()) +
+            " nodes, session has " + std::to_string(graph_.num_nodes()));
+  }
+  // Re-validate with the session's own policy knobs: a fixed rounds target
+  // must re-pass the mixing-floor check against the NEW topology when the
+  // user opted into RequireMixedRounds.
+  SessionConfig probe;
+  probe.SetGraph(std::move(graph))
+      .SetEpsilon0(epsilon0_)
+      .SetDeltaSplit(delta_, delta2_)
+      .SetRounds(rounds_fixed_ ? target_rounds_ : 0)
+      .RequireMixedRounds(require_mixed_rounds_)
+      .AllowNonErgodic(allow_non_ergodic_);
+  const Status status = Validate(probe);
+  if (!status.ok()) return status;
+
+  graph_ = probe.ReleaseGraph();
+  gap_ = EstimateSpectralGap(graph_).gap;
+  stationary_sum_squares_ = StationarySumSquares(graph_);
+  mixing_rounds_ = MixingTime(gap_, graph_.num_nodes());
+  // A mixing-time rounds policy re-resolves against the new topology; an
+  // explicit SetRounds target is the caller's to keep.
+  if (!rounds_fixed_) target_rounds_ = mixing_rounds_;
+  // The graph changed under the accountant's feet (same member address, so
+  // pointer-keyed caches cannot tell): drop any tracked walk state.
+  accountant_->OnTopologyChanged();
+  return Status::Ok();
+}
+
+AccountingContext Session::ContextAt(size_t rounds, double epsilon0) const {
+  AccountingContext ctx;
+  ctx.epsilon0 = epsilon0;
+  ctx.n = graph_.num_nodes();
+  ctx.rounds = rounds;
+  ctx.protocol = protocol_;
+  ctx.delta = delta_;
+  ctx.delta2 = delta2_;
+  ctx.spectral_gap = gap_;
+  ctx.stationary_sum_squares = stationary_sum_squares_;
+  ctx.graph = &graph_;
+  ctx.seed = seed_;
+  return ctx;
+}
+
+PrivacyParams Session::RawGuaranteeAt(size_t rounds, double epsilon0) const {
+  return accountant_->Certify(ContextAt(rounds, epsilon0));
+}
+
+PrivacyParams Session::GuaranteeAt(size_t rounds, double epsilon0) const {
+  const PrivacyParams raw = RawGuaranteeAt(rounds, epsilon0);
+  if (!(raw.epsilon < epsilon0)) {
+    // The amplification argument certifies nothing beyond the LDP floor,
+    // which costs no delta.
+    return PrivacyParams{epsilon0, 0.0};
+  }
+  return raw;
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,283 @@
+// The composable session API over the paper's pipeline: local randomization
+// -> t random-walk exchange rounds -> reporting -> central (eps, delta)
+// accounting.
+//
+// A SessionConfig (builder-style) is validated ONCE into a Session by
+// Session::Create, which returns Expected<Session> with typed Status errors
+// (core/status.h) for disconnected / non-ergodic graphs, invalid eps0 or
+// delta split, and fixed rounds below the mixing floor — instead of the
+// facade-era behavior of flowing bad numerics through to NaN / +inf.
+//
+// A Session executes INCREMENTALLY: Step(k) advances k exchange rounds,
+// Guarantee() queries the certified central (eps, delta) at the current
+// round, Finalize() produces the curator inbox at any point.  Splitting a
+// run into steps is bit-identical to the one-shot Run() at any thread count,
+// because every engine coin is drawn from a per-(seed, absolute round, user)
+// stream (shuffle/engine.h) — pinned by tests/test_session_incremental.cc.
+// That enables mid-run accounting curves, early stopping at a target
+// epsilon (StepUntil), dynamic-graph rewiring between steps (Rewire), and
+// per-step fault/collusion injection.
+//
+// Accounting is pluggable (core/accountant.h) and mechanisms are pluggable
+// (dp/mechanism.h).  See DESIGN.md "Session API".
+
+#ifndef NETSHUFFLE_CORE_SESSION_H_
+#define NETSHUFFLE_CORE_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/accountant.h"
+#include "core/status.h"
+#include "dp/mechanism.h"
+#include "graph/graph.h"
+#include "shuffle/engine.h"
+#include "shuffle/protocol.h"
+
+namespace netshuffle {
+
+/// Builder-style configuration.  Every setter returns *this so calls chain;
+/// build a named config and std::move it into Session::Create.  The config
+/// is copyable (the accountant is shared until Create adopts it).
+class SessionConfig {
+ public:
+  /// The communication graph (required; the session takes ownership).
+  SessionConfig& SetGraph(Graph graph) {
+    graph_ = std::move(graph);
+    return *this;
+  }
+
+  /// How users submit to the curator (default kAll).
+  SessionConfig& SetProtocol(ReportingProtocol protocol) {
+    protocol_ = protocol;
+    return *this;
+  }
+
+  /// Target exchange rounds.  0 (the default) selects the mixing time
+  /// alpha^-1 log n — this is the ONE place the accountant-driven default
+  /// lives; the engine itself rejects zero-round exchanges
+  /// (shuffle/engine.h ValidateExchangeOptions).
+  SessionConfig& SetRounds(size_t rounds) {
+    rounds_ = rounds;
+    return *this;
+  }
+
+  /// Local DP budget of each report (must be finite and > 0).
+  SessionConfig& SetEpsilon0(double epsilon0) {
+    epsilon0_ = epsilon0;
+    return *this;
+  }
+
+  /// Takes eps0 (and the mechanism name, for reporting) from a concrete
+  /// randomizer instead of SetEpsilon0.  `epsilon0()` is read here and
+  /// `name()` is copied, so the mechanism need not outlive the config.
+  SessionConfig& SetMechanism(const Mechanism& mechanism) {
+    epsilon0_ = mechanism.epsilon0();
+    mechanism_name_ = mechanism.name();
+    return *this;
+  }
+
+  /// Delta budget split: composition slack / report-size concentration
+  /// slack (both in (0, 1), sum < 1).
+  SessionConfig& SetDeltaSplit(double delta, double delta2) {
+    delta_ = delta;
+    delta2_ = delta2;
+    return *this;
+  }
+
+  SessionConfig& SetSeed(uint64_t seed) {
+    seed_ = seed;
+    return *this;
+  }
+
+  /// Pluggable accounting; default is StationaryBoundAccountant.
+  SessionConfig& SetAccountant(std::shared_ptr<Accountant> accountant) {
+    accountant_ = std::move(accountant);
+    return *this;
+  }
+
+  /// Optional availability model for Step; must outlive the session.
+  SessionConfig& SetFaults(const FaultModel* faults) {
+    faults_ = faults;
+    return *this;
+  }
+
+  /// Optional complexity counters, filled during Step; must outlive the
+  /// session.
+  SessionConfig& SetMetrics(ShuffleMetrics* metrics) {
+    metrics_ = metrics;
+    return *this;
+  }
+
+  /// Escape hatch: accept disconnected / bipartite graphs (the walk theory
+  /// does not apply; accountants will certify little or nothing).
+  SessionConfig& AllowNonErgodic(bool allow = true) {
+    allow_non_ergodic_ = allow;
+    return *this;
+  }
+
+  /// Reject fixed rounds below the mixing floor alpha^-1 log n with
+  /// kRoundsBelowMixingFloor instead of silently under-mixing.
+  SessionConfig& RequireMixedRounds(bool require = true) {
+    require_mixed_rounds_ = require;
+    return *this;
+  }
+
+  const Graph& graph() const { return graph_; }
+  /// Moves the graph out (Session::Create adopts it this way).
+  Graph ReleaseGraph() { return std::move(graph_); }
+  ReportingProtocol protocol() const { return protocol_; }
+  size_t rounds() const { return rounds_; }
+  double epsilon0() const { return epsilon0_; }
+  const std::string& mechanism_name() const { return mechanism_name_; }
+  double delta() const { return delta_; }
+  double delta2() const { return delta2_; }
+  uint64_t seed() const { return seed_; }
+  const std::shared_ptr<Accountant>& accountant() const { return accountant_; }
+  const FaultModel* faults() const { return faults_; }
+  ShuffleMetrics* metrics() const { return metrics_; }
+  bool allow_non_ergodic() const { return allow_non_ergodic_; }
+  bool require_mixed_rounds() const { return require_mixed_rounds_; }
+
+ private:
+  Graph graph_;
+  ReportingProtocol protocol_ = ReportingProtocol::kAll;
+  size_t rounds_ = 0;
+  double epsilon0_ = 1.0;
+  std::string mechanism_name_ = "unspecified";
+  double delta_ = 0.5e-6;
+  double delta2_ = 0.5e-6;
+  uint64_t seed_ = 2022;
+  std::shared_ptr<Accountant> accountant_;
+  const FaultModel* faults_ = nullptr;
+  ShuffleMetrics* metrics_ = nullptr;
+  bool allow_non_ergodic_ = false;
+  bool require_mixed_rounds_ = false;
+};
+
+class Session {
+ public:
+  /// Validates `config` (see Validate) and builds the session: spectral gap,
+  /// mixing time, rounds-policy resolution, report injection.  All
+  /// configuration errors surface here, once, as typed Status values.
+  static Expected<Session> Create(SessionConfig config);
+
+  /// The checks Create performs, without building anything.
+  static Status Validate(const SessionConfig& config);
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  // ---- Operating point -----------------------------------------------------
+
+  const Graph& graph() const { return graph_; }
+  double spectral_gap() const { return gap_; }
+  /// alpha^-1 log n — the paper's operating point and the rounds floor.
+  size_t mixing_rounds() const { return mixing_rounds_; }
+  /// Resolved rounds policy: the configured fixed rounds, or mixing_rounds()
+  /// when the config asked for the default.
+  size_t target_rounds() const { return target_rounds_; }
+  /// n * (sum P^2 bound at target_rounds()) — the paper's Gamma_G
+  /// irregularity at the operating point (1 for regular graphs).
+  double Gamma() const;
+
+  size_t current_round() const { return state_.rounds; }
+  double epsilon0() const { return epsilon0_; }
+  const std::string& mechanism_name() const { return mechanism_name_; }
+  ReportingProtocol protocol() const { return protocol_; }
+  uint64_t seed() const { return seed_; }
+  Accountant& accountant() const { return *accountant_; }
+
+  // ---- Incremental execution ----------------------------------------------
+
+  /// Advances k exchange rounds (k >= 1; kZeroRounds otherwise).  The
+  /// engine's RNG streams are keyed on the absolute round index, so any
+  /// Step partition of the same total is bit-identical.
+  Status Step(size_t k = 1);
+
+  /// Steps to target_rounds() (no-op if already there or past).
+  Status StepToTarget();
+
+  /// Early stopping: steps one round at a time until the capped guarantee
+  /// at the session eps0 drops to `target_epsilon` or `max_rounds` total
+  /// rounds are reached.  Returns the total rounds executed; kInvalidArgument
+  /// if the target is not positive.
+  Expected<size_t> StepUntil(double target_epsilon, size_t max_rounds);
+
+  /// Applies the reporting protocol to the CURRENT holdings, producing the
+  /// curator inbox.  Does not consume the session: stepping can continue
+  /// afterwards (mid-run inboxes for audits).
+  ProtocolResult Finalize() const { return Finalize(protocol_); }
+  ProtocolResult Finalize(ReportingProtocol protocol) const;
+
+  /// One-shot convenience: StepToTarget + Finalize.  Equivalent to (and
+  /// bit-identical with) the deprecated NetworkShuffler::Run.
+  ProtocolResult Run();
+
+  /// Replaces the communication graph between steps (dynamic networks,
+  /// paper Section 4.5).  The replacement must pass the same validation and
+  /// carry the same node count (holdings are indexed by user).  Spectral
+  /// invariants and the mixing floor are recomputed, and a mixing-time
+  /// rounds policy re-resolves target_rounds() against the new topology
+  /// (an explicit SetRounds target is kept as configured); the executed
+  /// rounds and holdings are kept, and accountant caches are invalidated.
+  /// Accounting after a rewire re-derives walk state on the current
+  /// topology — an approximation the static theorems do not cover exactly
+  /// (DESIGN.md "Session API").
+  Status Rewire(Graph graph);
+
+  // ---- Accounting queries --------------------------------------------------
+
+  /// Raw theorem guarantee at a hypothetical round count (no stepping
+  /// required); can exceed eps0 in weak regimes.
+  PrivacyParams RawGuaranteeAt(size_t rounds, double epsilon0) const;
+
+  /// RawGuaranteeAt capped at the trivial (eps0, 0) LDP floor — the
+  /// amplification argument never certifies less privacy than no shuffling.
+  PrivacyParams GuaranteeAt(size_t rounds, double epsilon0) const;
+
+  /// Capped guarantee at the CURRENT executed round (the incremental
+  /// accounting curve; the LDP floor before any stepping).
+  PrivacyParams Guarantee() const { return Guarantee(epsilon0_); }
+  PrivacyParams Guarantee(double epsilon0) const {
+    return GuaranteeAt(state_.rounds, epsilon0);
+  }
+
+  /// Capped guarantee at the resolved operating point target_rounds() —
+  /// what the one-shot facade reported.
+  PrivacyParams TargetGuarantee() const { return TargetGuarantee(epsilon0_); }
+  PrivacyParams TargetGuarantee(double epsilon0) const {
+    return GuaranteeAt(target_rounds_, epsilon0);
+  }
+
+ private:
+  explicit Session(SessionConfig config);
+
+  AccountingContext ContextAt(size_t rounds, double epsilon0) const;
+
+  Graph graph_;
+  ReportingProtocol protocol_ = ReportingProtocol::kAll;
+  double epsilon0_ = 1.0;
+  std::string mechanism_name_ = "unspecified";
+  double delta_ = 0.5e-6;
+  double delta2_ = 0.5e-6;
+  uint64_t seed_ = 2022;
+  std::shared_ptr<Accountant> accountant_;
+  const FaultModel* faults_ = nullptr;
+  ShuffleMetrics* metrics_ = nullptr;
+  bool allow_non_ergodic_ = false;
+  bool require_mixed_rounds_ = false;
+
+  double gap_ = 0.0;
+  double stationary_sum_squares_ = 0.0;
+  size_t mixing_rounds_ = 0;
+  size_t target_rounds_ = 0;
+  bool rounds_fixed_ = false;
+  ExchangeResult state_;
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_CORE_SESSION_H_

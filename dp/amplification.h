@@ -13,7 +13,7 @@
 // The uniform-shuffling baselines (EFMRT, stronger "clones" analysis) and
 // subsampling are included for the Table-1 comparison.  All bounds return
 // +infinity outside their validity regime; callers cap against the trivial
-// eps0 guarantee (see core/network_shuffler.h CappedGuarantee).
+// eps0 guarantee (see core/session.h Session::GuaranteeAt).
 
 #ifndef NETSHUFFLE_DP_AMPLIFICATION_H_
 #define NETSHUFFLE_DP_AMPLIFICATION_H_

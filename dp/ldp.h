@@ -1,4 +1,6 @@
 // Local randomizers: k-ary randomized response and the Laplace mechanism.
+// Both implement the dp/mechanism.h interface so sessions can account for
+// them generically.
 
 #ifndef NETSHUFFLE_DP_LDP_H_
 #define NETSHUFFLE_DP_LDP_H_
@@ -7,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dp/mechanism.h"
 #include "util/rng.h"
 
 namespace netshuffle {
@@ -14,9 +17,12 @@ namespace netshuffle {
 /// k-ary randomized response: keeps the true category with probability
 /// e^{eps} / (e^{eps} + k - 1), otherwise reports one of the k-1 others
 /// uniformly.  eps-LDP.
-class KRandomizedResponse {
+class KRandomizedResponse : public Mechanism {
  public:
   KRandomizedResponse(size_t num_categories, double epsilon);
+
+  const char* name() const override { return "k-rr"; }
+  double epsilon0() const override { return epsilon_; }
 
   uint32_t Randomize(uint32_t value, Rng* rng) const;
 
@@ -37,10 +43,13 @@ class KRandomizedResponse {
 
 /// Laplace mechanism for scalars in [lo, hi]; adds Laplace((hi-lo)/eps)
 /// noise, giving eps-LDP for one report.
-class LaplaceMechanism {
+class LaplaceMechanism : public Mechanism {
  public:
   LaplaceMechanism(double lo, double hi, double epsilon)
-      : scale_((hi - lo) / epsilon) {}
+      : epsilon_(epsilon), scale_((hi - lo) / epsilon) {}
+
+  const char* name() const override { return "laplace"; }
+  double epsilon0() const override { return epsilon_; }
 
   double Randomize(double value, Rng* rng) const {
     return value + rng->Laplace(scale_);
@@ -49,6 +58,7 @@ class LaplaceMechanism {
   double scale() const { return scale_; }
 
  private:
+  double epsilon_;
   double scale_;
 };
 

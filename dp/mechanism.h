@@ -1,0 +1,27 @@
+// The Mechanism interface: what the session layer needs to know about a
+// local randomizer — its identity and the eps0-LDP budget its reports carry
+// into the amplification theorems.  The concrete randomization APIs stay
+// typed (k-RR maps categories, Laplace maps scalars, PrivUnit maps unit
+// vectors), so Mechanism deliberately does not force a common Randomize
+// signature; it is the accounting-facing face of dp/ldp.h and dp/privunit.h.
+
+#ifndef NETSHUFFLE_DP_MECHANISM_H_
+#define NETSHUFFLE_DP_MECHANISM_H_
+
+namespace netshuffle {
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  /// Stable identifier ("k-rr", "laplace", "privunit") for logs and
+  /// BENCH_*.json.
+  virtual const char* name() const = 0;
+
+  /// The per-report local DP budget the amplification theorems consume.
+  virtual double epsilon0() const = 0;
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_DP_MECHANISM_H_

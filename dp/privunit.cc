@@ -15,7 +15,8 @@ double MeanAbsProjection(size_t d) {
 
 }  // namespace
 
-PrivUnit::PrivUnit(size_t dim, double epsilon0) : dim_(dim) {
+PrivUnit::PrivUnit(size_t dim, double epsilon0)
+    : dim_(dim), epsilon0_(epsilon0) {
   const double e = std::exp(epsilon0);
   keep_prob_ = e / (1.0 + e);
   // Unbiasedness: E[b z] = (2 keep_prob - 1) c_d u  =>  scale cancels both.

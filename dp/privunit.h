@@ -13,13 +13,17 @@
 #include <cstddef>
 #include <vector>
 
+#include "dp/mechanism.h"
 #include "util/rng.h"
 
 namespace netshuffle {
 
-class PrivUnit {
+class PrivUnit : public Mechanism {
  public:
   PrivUnit(size_t dim, double epsilon0);
+
+  const char* name() const override { return "privunit"; }
+  double epsilon0() const override { return epsilon0_; }
 
   /// `unit` must have norm ~1.  Returns the randomized (scaled) vector.
   std::vector<double> Randomize(const std::vector<double>& unit,
@@ -31,6 +35,7 @@ class PrivUnit {
 
  private:
   size_t dim_;
+  double epsilon0_;
   double keep_prob_;  // e^{eps0} / (1 + e^{eps0})
   double scale_;
 };

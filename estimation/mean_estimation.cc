@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "dp/privunit.h"
+#include "graph/spectral.h"
+#include "graph/walk.h"
 #include "shuffle/engine.h"
 #include "util/rng.h"
 
@@ -61,7 +63,11 @@ MeanEstimationResult RunMeanEstimation(const Graph& g,
   Workload w = MakeWorkload(n, config, &rng);
 
   ExchangeOptions opts;
-  opts.rounds = config.rounds;
+  // rounds == 0 resolves to the mixing time (the session-level convention);
+  // the engine itself rejects zero-round exchanges.
+  opts.rounds = config.rounds > 0
+                    ? config.rounds
+                    : MixingTime(EstimateSpectralGap(g).gap, n);
   opts.seed = config.seed ^ 0xfeedULL;
   ProtocolResult pr = RunProtocol(g, config.protocol, opts);
 

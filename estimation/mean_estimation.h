@@ -16,7 +16,9 @@ namespace netshuffle {
 struct MeanEstimationConfig {
   size_t dim = 200;
   double epsilon0 = 1.0;
-  /// Exchange rounds (callers pass the accountant's mixing time).
+  /// Exchange rounds; 0 resolves to the graph's mixing time (callers with a
+  /// Session in hand should pass its target_rounds() to keep the accounting
+  /// and the run at the same operating point).
   size_t rounds = 0;
   ReportingProtocol protocol = ReportingProtocol::kAll;
   uint64_t seed = 1;

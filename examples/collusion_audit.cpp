@@ -1,16 +1,17 @@
 // Collusion audit: how much anonymity does a victim's report keep when a
 // fraction of a social network colludes with the curator?  (Relaxes the
-// paper's non-collusion assumption, Section 4.5.)
+// paper's non-collusion assumption, Section 4.5.)  The clean guarantee comes
+// from a validated Session; the collusion-degraded one re-queries the same
+// accountant interface at the inflated collision mass.
 //
 //   ./examples/collusion_audit [fraction] [epsilon0]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/session.h"
 #include "data/datasets.h"
-#include "dp/amplification.h"
 #include "graph/anonymity.h"
-#include "graph/spectral.h"
 #include "graph/walk.h"
 #include "shuffle/adversary.h"
 #include "util/rng.h"
@@ -23,8 +24,17 @@ int main(int argc, char** argv) {
 
   auto ds = MakeDatasetByName("facebook", 5, /*scale=*/0.15);
   const size_t n = ds.graph.num_nodes();
-  const auto gap = EstimateSpectralGap(ds.graph);
-  const size_t rounds = MixingTime(gap.gap, n);
+
+  SessionConfig config;
+  config.SetGraph(Graph(ds.graph)).SetEpsilon0(epsilon0);
+  Expected<Session> created = Session::Create(std::move(config));
+  if (!created.ok()) {
+    std::fprintf(stderr, "session rejected: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  Session session = std::move(created).value();
+  const size_t rounds = session.target_rounds();
 
   std::printf("Collusion audit on a facebook-like graph\n");
   std::printf("n=%zu, Gamma=%.3f, t=t_mix=%zu, colluder fraction=%.1f%%\n\n",
@@ -47,16 +57,18 @@ int main(int argc, char** argv) {
               audit.sum_squares_inflation);
 
   // Amplification with and without the collusion penalty on unsighted
-  // reports.
-  NetworkShufflingBoundInput in;
-  in.epsilon0 = epsilon0;
-  in.n = n;
-  in.sum_p_squares = SumSquaresBound(StationarySumSquares(ds.graph),
-                                     gap.gap, rounds);
-  in.delta = in.delta2 = 0.5e-6;
-  const double eps_clean = EpsilonAllStationary(in);
-  in.sum_p_squares *= audit.sum_squares_inflation;
-  const double eps_collusion = EpsilonAllStationary(in);
+  // reports.  The penalized query feeds the inflated collision mass through
+  // the same accountant (FixedMassContext consumes it as-is).
+  const double eps_clean = session.RawGuaranteeAt(rounds, epsilon0).epsilon;
+  const double inflated_mass =
+      SumSquaresBound(StationarySumSquares(ds.graph), session.spectral_gap(),
+                      rounds) *
+      audit.sum_squares_inflation;
+  const double eps_collusion =
+      session.accountant()
+          .Certify(FixedMassContext(n, epsilon0, inflated_mass, 0.5e-6,
+                                    0.5e-6))
+          .epsilon;
   std::printf("central eps (no collusion)       : %.4f\n", eps_clean);
   std::printf("central eps (unsighted reports)  : %.4f\n", eps_collusion);
   std::printf("sighted reports fall back to     : eps0 = %.4f (LDP floor)\n",

@@ -1,14 +1,17 @@
 // Federated mean estimation (the paper's Figure-9 workload): users hold
 // d-dimensional unit vectors (e.g. model updates), randomize them with
 // PrivUnit, and deliver them via network shuffling.  Compares the A_all and
-// A_single protocols at equal local budget.
+// A_single protocols at equal local budget, with one validated Session per
+// protocol doing the accounting (PrivUnit plugs in as the session's
+// Mechanism).
 //
 //   ./examples/federated_mean [epsilon0] [dim]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/network_shuffler.h"
+#include "core/session.h"
+#include "dp/privunit.h"
 #include "estimation/mean_estimation.h"
 #include "graph/generators.h"
 #include "util/rng.h"
@@ -25,25 +28,31 @@ int main(int argc, char** argv) {
 
   Rng rng(5);
   Graph graph = MakeRandomRegular(n, k, &rng);
-  NetworkShuffler accountant(Graph(graph), {});
-  const size_t rounds = accountant.rounds();
+  const PrivUnit mechanism(dim, epsilon0);
 
   for (ReportingProtocol protocol :
        {ReportingProtocol::kAll, ReportingProtocol::kSingle}) {
+    SessionConfig acct_cfg;
+    acct_cfg.SetGraph(Graph(graph))
+        .SetProtocol(protocol)
+        .SetMechanism(mechanism);
+    Expected<Session> created = Session::Create(std::move(acct_cfg));
+    if (!created.ok()) {
+      std::fprintf(stderr, "session rejected: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    Session session = std::move(created).value();
+
     MeanEstimationConfig config;
     config.dim = dim;
     config.epsilon0 = epsilon0;
-    config.rounds = rounds;
+    config.rounds = session.target_rounds();
     config.protocol = protocol;
     config.seed = 17;
     const auto result = RunMeanEstimation(graph, config);
 
-    NetworkShufflerConfig acct_cfg;
-    acct_cfg.protocol = protocol;
-    acct_cfg.rounds = rounds;
-    NetworkShuffler acct(Graph(graph), acct_cfg);
-    const auto central = acct.CappedGuarantee(epsilon0);
-
+    const PrivacyParams central = session.TargetGuarantee();
     std::printf("%-8s  central eps=%.4f  l2^2 error=%.5f  genuine=%zu  "
                 "dummies=%zu  dropped=%zu\n",
                 protocol == ReportingProtocol::kAll ? "A_all" : "A_single",

@@ -1,12 +1,13 @@
-// Quickstart: build a communication graph, account for the privacy
-// amplification of network shuffling, and run the protocol once.
+// Quickstart: build a communication graph, validate it into a Session, step
+// the exchange incrementally while watching the certified central epsilon
+// tighten, and deliver the reports to the untrusted curator.
 //
 //   ./examples/quickstart [n] [k] [epsilon0]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/network_shuffler.h"
+#include "core/session.h"
 #include "graph/generators.h"
 #include "shuffle/server.h"
 #include "util/rng.h"
@@ -26,28 +27,50 @@ int main(int argc, char** argv) {
   Rng rng(2022);
   Graph graph = MakeRandomRegular(n, k, &rng);
 
-  // 2. Configure the shuffler.  rounds=0 selects the mixing time
-  //    alpha^-1 log n automatically.
-  NetworkShufflerConfig config;
-  config.protocol = ReportingProtocol::kAll;
-  NetworkShuffler shuffler(std::move(graph), config);
+  // 2. Configure and validate the session.  SetRounds(0) (the default)
+  //    selects the mixing time alpha^-1 log n; bad configs come back as
+  //    typed Status errors instead of NaN results.
+  SessionConfig config;
+  config.SetGraph(std::move(graph))
+      .SetProtocol(ReportingProtocol::kAll)
+      .SetEpsilon0(epsilon0);
+  Expected<Session> created = Session::Create(std::move(config));
+  if (!created.ok()) {
+    std::fprintf(stderr, "invalid session config: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  Session session = std::move(created).value();
 
-  std::printf("spectral gap alpha      : %.5f\n", shuffler.spectral_gap());
+  std::printf("spectral gap alpha      : %.5f\n", session.spectral_gap());
   std::printf("exchange rounds t*      : %zu  (mixing time)\n",
-              shuffler.rounds());
-  std::printf("irregularity Gamma(t*)  : %.4f\n", shuffler.Gamma());
+              session.target_rounds());
+  std::printf("irregularity Gamma(t*)  : %.4f\n", session.Gamma());
 
-  // 3. Privacy accounting: what the epsilon0-LDP reports amount to in the
-  //    central model after network shuffling.
-  const PrivacyParams central = shuffler.CappedGuarantee(epsilon0);
-  std::printf("central guarantee       : (%.4f, %.2e)-DP  (local eps0=%.2f)\n",
+  // 3. Run the exchange incrementally: after each chunk of rounds, ask the
+  //    accountant what the eps0-LDP reports amount to in the central model
+  //    so far.  The guarantee starts at the (eps0, 0) LDP floor and tightens
+  //    as the walk mixes.
+  std::printf("\nround   central eps  (capped at the eps0 floor)\n");
+  while (session.current_round() < session.target_rounds()) {
+    const size_t chunk = (session.target_rounds() + 3) / 4;
+    const size_t remaining = session.target_rounds() - session.current_round();
+    session.Step(chunk < remaining ? chunk : remaining);
+    const PrivacyParams sofar = session.Guarantee();
+    std::printf("%5zu   (%.4f, %.2e)-DP\n", session.current_round(),
+                sofar.epsilon, sofar.delta);
+  }
+
+  const PrivacyParams central = session.Guarantee();
+  std::printf("\ncentral guarantee       : (%.4f, %.2e)-DP  (local eps0=%.2f)\n",
               central.epsilon, central.delta, epsilon0);
   std::printf("amplification factor    : %.2fx\n\n",
               epsilon0 / central.epsilon);
 
-  // 4. Run the protocol and collect reports at the untrusted curator.
+  // 4. Deliver to the untrusted curator.  Finalize does not consume the
+  //    session — stepping could continue for an even tighter epsilon.
   Server server(n);
-  server.ReceiveAll(shuffler.Run().server_inbox);
+  server.ReceiveAll(session.Finalize().server_inbox);
   std::printf("reports at curator      : %zu (coverage %.1f%%)\n",
               server.num_received(), 100.0 * server.PayloadCoverage());
 

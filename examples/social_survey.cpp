@@ -11,10 +11,9 @@
 #include <string>
 #include <vector>
 
-#include "core/network_shuffler.h"
+#include "core/session.h"
 #include "data/datasets.h"
 #include "dp/ldp.h"
-#include "graph/spectral.h"
 #include "shuffle/pki.h"
 #include "util/rng.h"
 
@@ -43,18 +42,30 @@ int main(int argc, char** argv) {
     ++truth[answers[i]];
   }
 
-  // Local randomization with k-ary randomized response.
+  // Local randomization with k-ary randomized response; the same mechanism
+  // object plugs into the accounting session below.
   KRandomizedResponse rr(kCategories, epsilon0);
   std::vector<Bytes> payloads(n);
   for (size_t i = 0; i < n; ++i) {
     payloads[i] = Bytes{static_cast<uint8_t>(rr.Randomize(answers[i], &rng))};
   }
 
-  // Secure relay session: PKI, c1/c2 layers, t = mixing time rounds.
-  const auto gap = EstimateSpectralGap(ds.graph);
-  const size_t rounds = MixingTime(gap.gap, n);
-  std::printf("mixing time: %zu rounds (alpha=%.4f)\n", rounds, gap.gap);
+  // Privacy accounting: validate the graph + budgets into a Session once;
+  // its mixing time is the relay round count.
+  SessionConfig config;
+  config.SetGraph(Graph(ds.graph)).SetMechanism(rr);
+  Expected<Session> created = Session::Create(std::move(config));
+  if (!created.ok()) {
+    std::fprintf(stderr, "session rejected: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  Session accounting = std::move(created).value();
+  const size_t rounds = accounting.target_rounds();
+  std::printf("mixing time: %zu rounds (alpha=%.4f)\n", rounds,
+              accounting.spectral_gap());
 
+  // Secure relay session: PKI, c1/c2 layers, t = mixing time rounds.
   Pki pki(99);
   pki.RegisterUsers(static_cast<uint32_t>(n));
   pki.RegisterServer();
@@ -65,11 +76,7 @@ int main(int argc, char** argv) {
   for (const Bytes& b : session.delivered_payloads) ++observed[b[0]];
   const auto estimate = rr.DebiasCounts(observed, n);
 
-  // Privacy accounting for the collected data.
-  NetworkShufflerConfig config;
-  config.rounds = rounds;
-  NetworkShuffler accountant(Graph(ds.graph), config);
-  const auto central = accountant.CappedGuarantee(epsilon0);
+  const auto central = accounting.TargetGuarantee();
   std::printf("central DP after shuffling: (%.4f, %.1e)\n\n", central.epsilon,
               central.delta);
 

@@ -33,19 +33,48 @@ using Move = std::pair<NodeId, Report>;
 
 }  // namespace
 
-ExchangeResult RunExchange(const Graph& g, const ExchangeOptions& options) {
-  const size_t n = g.num_nodes();
+Status ValidateExchangeOptions(const ExchangeOptions& options) {
+  if (options.rounds == 0) {
+    return Status::Error(
+        StatusCode::kZeroRounds,
+        "ExchangeOptions.rounds == 0: the engine has no mixing-time default "
+        "and a zero-round exchange would deliver unshuffled reports; pick "
+        "rounds explicitly, or let SessionConfig::SetRounds(0) resolve the "
+        "mixing time (core/session.h is the one place that default lives)");
+  }
+  return Status::Ok();
+}
 
+ExchangeResult StartExchange(const Graph& g, ShuffleMetrics* metrics) {
+  const size_t n = g.num_nodes();
   ExchangeResult result;
-  result.rounds = options.rounds;
   result.holdings.resize(n);
   for (NodeId u = 0; u < n; ++u) {
     result.holdings[u].push_back(Report{u, u});
   }
-  if (options.metrics != nullptr) {
-    for (NodeId u = 0; u < n; ++u) options.metrics->ObserveUserHoldings(u, 1);
+  if (metrics != nullptr) {
+    for (NodeId u = 0; u < n; ++u) metrics->ObserveUserHoldings(u, 1);
   }
-  if (n == 0 || options.rounds == 0) return result;
+  return result;
+}
+
+ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
+                              const ExchangeOptions& options) {
+  const Status valid = ValidateExchangeOptions(options);
+  if (!valid.ok()) NETSHUFFLE_FATAL(valid.ToString());
+  if (options.first_round != prior.rounds) {
+    // A mismatched offset would draw coins from the wrong per-round streams
+    // and silently diverge from the one-shot schedule.
+    NETSHUFFLE_FATAL("ResumeExchange: options.first_round (" +
+                     std::to_string(options.first_round) +
+                     ") must equal the rounds already executed (" +
+                     std::to_string(prior.rounds) + ")");
+  }
+
+  const size_t n = g.num_nodes();
+  ExchangeResult result = std::move(prior);
+  result.rounds += options.rounds;
+  if (n == 0) return result;
 
   // Users are sharded into contiguous ranges, one shard per pool slot.  The
   // shard count only affects scheduling: every RNG draw comes from a
@@ -72,7 +101,10 @@ ExchangeResult RunExchange(const Graph& g, const ExchangeOptions& options) {
   // worker threads.
   std::vector<std::vector<std::pair<NodeId, uint64_t>>> traffic(shards);
 
-  for (size_t round = 0; round < options.rounds; ++round) {
+  for (size_t step = 0; step < options.rounds; ++step) {
+    // The absolute round index keys the RNG streams, so resumed chunks draw
+    // exactly the coins the one-shot schedule would.
+    const size_t round = options.first_round + step;
     // Hop phase: each shard routes its users' reports into per-destination-
     // shard outboxes.
     GlobalPool().RunChunks(shards, [&](size_t c) {
@@ -131,7 +163,11 @@ ExchangeResult RunExchange(const Graph& g, const ExchangeOptions& options) {
   return result;
 }
 
-ProtocolResult FinalizeProtocol(ExchangeResult exchange,
+ExchangeResult RunExchange(const Graph& g, const ExchangeOptions& options) {
+  return ResumeExchange(g, StartExchange(g, options.metrics), options);
+}
+
+ProtocolResult FinalizeProtocol(const ExchangeResult& exchange,
                                 ReportingProtocol protocol, uint64_t seed) {
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
   ProtocolResult out;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/status.h"
 #include "graph/graph.h"
 #include "shuffle/fault.h"
 #include "shuffle/protocol.h"
@@ -51,10 +52,18 @@ class ShuffleMetrics {
 };
 
 struct ExchangeOptions {
-  /// Number of exchange rounds (no automatic mixing-time default here; see
-  /// core/network_shuffler.h for the accountant-driven choice).
+  /// Number of exchange rounds executed by this call.  Must be positive:
+  /// the engine has no mixing-time default and rejects 0 with a fatal error
+  /// (see ValidateExchangeOptions).  The accountant-driven default — rounds
+  /// = 0 meaning "the mixing time alpha^-1 log n" — lives in ONE place:
+  /// core/session.h SessionConfig::SetRounds.
   size_t rounds = 1;
   uint64_t seed = 1;
+  /// Absolute index of the first round this call executes.  Every coin is
+  /// drawn from a stream keyed on (seed, first_round + i, user), so a run
+  /// split into Session::Step chunks draws exactly the coins of the
+  /// equivalent one-shot run.  RunExchange starts fresh exchanges at 0.
+  size_t first_round = 0;
   /// Optional availability model; nullptr = everyone always awake.
   const FaultModel* faults = nullptr;
   /// Optional complexity counters, filled during the run.
@@ -64,16 +73,39 @@ struct ExchangeOptions {
 struct ExchangeResult {
   /// holdings[u] = reports user u holds after the last round.
   std::vector<std::vector<Report>> holdings;
+  /// Total rounds this state has been advanced (across resumed chunks).
   size_t rounds = 0;
 };
 
-/// Runs the report exchange.  Reports are conserved: every one of the n
-/// injected reports is held by exactly one user afterwards.
+/// Typed pre-flight check for the exchange entry points below; they fatal on
+/// exactly the configurations this rejects.  Today that is the zero-round
+/// footgun (silently returning unshuffled holdings would certify privacy
+/// that was never delivered).
+Status ValidateExchangeOptions(const ExchangeOptions& options);
+
+/// Injects one report per user (holdings[u] = {u's report}) and records the
+/// initial metrics observation — round 0 of an exchange.  Advance the
+/// returned state with ResumeExchange.
+ExchangeResult StartExchange(const Graph& g, ShuffleMetrics* metrics = nullptr);
+
+/// Advances `prior` (from StartExchange or a previous call) by
+/// options.rounds further rounds.  options.first_round must equal
+/// prior.rounds — that is what makes the incremental run bit-identical to a
+/// one-shot RunExchange over the combined rounds.  Fatal on
+/// options.rounds == 0 and on a first_round/prior mismatch (a wrong offset
+/// would silently draw coins from the wrong per-round streams).
+ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
+                              const ExchangeOptions& options);
+
+/// Runs a fresh report exchange (StartExchange + ResumeExchange).  Reports
+/// are conserved: every one of the n injected reports is held by exactly one
+/// user afterwards.  Fatal on options.rounds == 0.
 ExchangeResult RunExchange(const Graph& g, const ExchangeOptions& options);
 
 /// Applies a reporting protocol to finished holdings, producing the
-/// curator's inbox.
-ProtocolResult FinalizeProtocol(ExchangeResult exchange,
+/// curator's inbox.  Read-only on the exchange state, so mid-run audits can
+/// finalize repeatedly without copying it.
+ProtocolResult FinalizeProtocol(const ExchangeResult& exchange,
                                 ReportingProtocol protocol, uint64_t seed);
 
 /// RunExchange + FinalizeProtocol.

@@ -41,6 +41,28 @@ int main() {
   CHECK(metrics.max_user_memory() < 30);
   CHECK(metrics.peak_entity_memory() == 0);  // no central entity
 
+  // Report conservation through FinalizeProtocol, for EVERY protocol: each
+  // of the n injected reports is either delivered exactly once or counted
+  // as dropped, and dummies account for the empty-handed users.
+  for (ReportingProtocol protocol :
+       {ReportingProtocol::kAll, ReportingProtocol::kSingle}) {
+    const ProtocolResult fin = FinalizeProtocol(ex, protocol, 1);
+    std::vector<bool> delivered(n, false);
+    for (const FinalReport& fr : fin.server_inbox) {
+      CHECK(!delivered[fr.report.origin]);  // no duplication, ever
+      delivered[fr.report.origin] = true;
+    }
+    CHECK(fin.server_inbox.size() + fin.dropped_reports == n);
+    size_t holders = 0;
+    for (const auto& held : ex.holdings) holders += !held.empty();
+    CHECK(fin.dummy_reports == n - holders);
+    if (protocol == ReportingProtocol::kAll) {
+      CHECK(fin.dropped_reports == 0);  // kAll submits everything held
+    } else {
+      CHECK(fin.server_inbox.size() == holders);  // one per holding user
+    }
+  }
+
   // kAll delivers all n reports; the server sees full coverage.
   ProtocolResult all = FinalizeProtocol(ex, ReportingProtocol::kAll, 1);
   CHECK(all.server_inbox.size() == n);

@@ -1,0 +1,151 @@
+// Incremental-execution acceptance: splitting a Session run into Step()
+// chunks — with mid-run Finalize calls in between — is bit-identical to the
+// equivalent one-shot engine run, for both reporting protocols, with
+// metrics, and at 1 vs 4 threads (the engine keys every coin on the
+// absolute round index; see shuffle/engine.h ExchangeOptions::first_round).
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/session.h"
+#include "dp/amplification.h"
+#include "graph/generators.h"
+#include "graph/walk.h"
+#include "shuffle/engine.h"
+#include "tests/test_util.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+using namespace netshuffle;
+
+namespace {
+
+constexpr size_t kUsers = 800;
+constexpr size_t kRounds = 15;
+constexpr uint64_t kSeed = 4242;
+
+Graph TestGraph() {
+  Rng rng(9);
+  return MakeRandomRegular(kUsers, 8, &rng);
+}
+
+struct MetricsSnapshot {
+  uint64_t max_traffic;
+  double mean_traffic;
+  size_t max_memory;
+};
+
+MetricsSnapshot Snapshot(const ShuffleMetrics& m) {
+  return {m.max_user_traffic(), m.mean_user_traffic(), m.max_user_memory()};
+}
+
+void CheckSameInbox(const ProtocolResult& a, const ProtocolResult& b) {
+  CHECK(a.rounds == b.rounds);
+  CHECK(a.dummy_reports == b.dummy_reports);
+  CHECK(a.dropped_reports == b.dropped_reports);
+  CHECK(a.server_inbox.size() == b.server_inbox.size());
+  for (size_t i = 0; i < a.server_inbox.size(); ++i) {
+    CHECK(a.server_inbox[i].report.origin == b.server_inbox[i].report.origin);
+    CHECK(a.server_inbox[i].report.payload ==
+          b.server_inbox[i].report.payload);
+    CHECK(a.server_inbox[i].final_holder == b.server_inbox[i].final_holder);
+  }
+}
+
+Session MakeSession(const Graph& g, ReportingProtocol protocol,
+                    ShuffleMetrics* metrics) {
+  SessionConfig config;
+  config.SetGraph(Graph(g))
+      .SetProtocol(protocol)
+      .SetRounds(kRounds)
+      .SetSeed(kSeed)
+      .SetMetrics(metrics);
+  Expected<Session> created = Session::Create(std::move(config));
+  CHECK(created.ok());
+  return std::move(created).value();
+}
+
+void CheckIncrementalEqualsOneShot(const Graph& g,
+                                   ReportingProtocol protocol) {
+  // Ground truth: the one-shot engine run the deprecated facade performed.
+  ShuffleMetrics oneshot_metrics(kUsers);
+  ExchangeOptions opts;
+  opts.rounds = kRounds;
+  opts.seed = kSeed;
+  opts.metrics = &oneshot_metrics;
+  const ProtocolResult oneshot = RunProtocol(g, protocol, opts);
+  const MetricsSnapshot oneshot_m = Snapshot(oneshot_metrics);
+
+  // Session::Run (step-to-target + finalize).
+  ShuffleMetrics run_metrics(kUsers);
+  Session whole = MakeSession(g, protocol, &run_metrics);
+  CheckSameInbox(whole.Run(), oneshot);
+  const MetricsSnapshot run_m = Snapshot(run_metrics);
+  CHECK(run_m.max_traffic == oneshot_m.max_traffic);
+  CHECK_NEAR(run_m.mean_traffic, oneshot_m.mean_traffic, 0.0);
+  CHECK(run_m.max_memory == oneshot_m.max_memory);
+
+  // Uneven Step() chunks with a mid-run Finalize (which must not disturb
+  // the stream) — still bit-identical.
+  ShuffleMetrics step_metrics(kUsers);
+  Session chunked = MakeSession(g, protocol, &step_metrics);
+  CHECK(chunked.Step(1).ok());
+  CHECK(chunked.Step(4).ok());
+  const ProtocolResult midrun = chunked.Finalize();
+  CHECK(midrun.rounds == 5);
+  CHECK(chunked.Step(10).ok());
+  CHECK(chunked.current_round() == kRounds);
+  CheckSameInbox(chunked.Finalize(), oneshot);
+  const MetricsSnapshot step_m = Snapshot(step_metrics);
+  CHECK(step_m.max_traffic == oneshot_m.max_traffic);
+  CHECK_NEAR(step_m.mean_traffic, oneshot_m.mean_traffic, 0.0);
+  CHECK(step_m.max_memory == oneshot_m.max_memory);
+
+  // One round at a time, checking the incremental accounting curve against
+  // the closed form the facade reported at every prefix.
+  Session single_steps = MakeSession(g, protocol, nullptr);
+  const double pi_sq = StationarySumSquares(g);
+  for (size_t t = 1; t <= kRounds; ++t) {
+    CHECK(single_steps.Step(1).ok());
+    CHECK(single_steps.current_round() == t);
+    NetworkShufflingBoundInput in;
+    in.epsilon0 = 1.0;
+    in.n = kUsers;
+    in.sum_p_squares =
+        SumSquaresBound(pi_sq, single_steps.spectral_gap(), t);
+    const double closed = protocol == ReportingProtocol::kSingle
+                              ? EpsilonSingle(in)
+                              : EpsilonAllStationary(in);
+    const PrivacyParams raw = single_steps.RawGuaranteeAt(t, 1.0);
+    if (std::isfinite(closed)) {
+      CHECK_NEAR(raw.epsilon, closed, 1e-12);
+    } else {
+      CHECK(!std::isfinite(raw.epsilon));
+    }
+  }
+  CheckSameInbox(single_steps.Finalize(), oneshot);
+}
+
+}  // namespace
+
+int main() {
+  const Graph g = TestGraph();
+
+  // The thread count must not change a single bit of any of this (the CI
+  // matrix additionally runs the whole suite under NS_THREADS=1 and 4).
+  std::vector<ProtocolResult> per_thread_results;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SetThreadCount(threads);
+    CheckIncrementalEqualsOneShot(g, ReportingProtocol::kAll);
+    CheckIncrementalEqualsOneShot(g, ReportingProtocol::kSingle);
+
+    Session s = MakeSession(g, ReportingProtocol::kAll, nullptr);
+    CHECK(s.Step(kRounds).ok());
+    per_thread_results.push_back(s.Finalize());
+  }
+  SetThreadCount(0);  // restore the NS_THREADS / hardware default
+  CheckSameInbox(per_thread_results[0], per_thread_results[1]);
+  return 0;
+}

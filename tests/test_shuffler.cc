@@ -1,6 +1,11 @@
-// End-to-end facade coverage: the acceptance path of the quickstart example
-// (finite central epsilon, amplification factor > 1) plus the estimation
-// workloads.
+// End-to-end coverage of the deprecated NetworkShuffler shim: it must keep
+// the facade's one-shot semantics (now delegated to netshuffle::Session)
+// byte-for-byte, plus the estimation workloads.
+
+// The shim is [[deprecated]]; this test exercises it on purpose.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 #include "core/network_shuffler.h"
 
@@ -76,6 +81,14 @@ int main() {
     cfg.protocol = ReportingProtocol::kSingle;
     const auto single = RunMeanEstimation(g, cfg);
     const auto uniform = RunMeanEstimationUniformShuffle(1500, cfg);
+
+    // The config's rounds default (0) resolves to the mixing time instead
+    // of tripping the engine's zero-round rejection.
+    MeanEstimationConfig defaults;
+    defaults.dim = 8;
+    defaults.epsilon0 = 2.0;
+    defaults.seed = 17;
+    CHECK(std::isfinite(RunMeanEstimation(g, defaults).squared_error));
 
     CHECK(all.genuine_reports == 1500);
     CHECK(all.dropped_reports == 0);
