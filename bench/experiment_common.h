@@ -55,18 +55,27 @@ inline double EnvScale() {
 inline size_t EnvThreads() { return EnvThreadCount(); }
 
 /// Times a harness and emits BENCH_<name>.json so the perf trajectory is
-/// machine-readable across PRs.  Construct one at the top of main(); the
-/// file is written when it goes out of scope.  Schema (schema_version 2
-/// added the version marker itself and the accountant name, so cross-PR
-/// tooling can refuse to compare apples to oranges):
+/// machine-readable across PRs.  Construct one at the top of main().  A
+/// preliminary record ("completed": false) lands on disk immediately at
+/// construction, so a harness that aborts, std::exit()s, or bails on a
+/// rejected config under a small NS_SCALE still leaves a parseable JSON for
+/// CI to archive instead of silently dropping off the perf trajectory; the
+/// destructor rewrites it with the final numbers and "completed": true
+/// (unless MarkFailed() ran — error paths that return from main keep the
+/// honest "completed": false).
+/// Schema (schema_version 2 added the version marker itself and the
+/// accountant name, so cross-PR tooling can refuse to compare apples to
+/// oranges; 3 added "completed"):
 ///
 ///   {
-///     "schema_version": 2,
+///     "schema_version": 3,
 ///     "name": "fig4_privacy_rounds",      // harness name
 ///     "threads": 4,                       // effective NS_THREADS
 ///     "scale": 0.05,                      // effective NS_SCALE
 ///     "accountant": "stationary_bound",   // who certified the headline
 ///                                         // (see core/accountant.h names)
+///     "completed": true,                  // false = the harness died before
+///                                         // its final write
 ///     "wall_seconds": 1.234567,           // whole-harness wall time
 ///     "headline": {"metric": "...", "value": ...},   // the one number to
 ///                                                    // track across PRs
@@ -81,7 +90,9 @@ class BenchRunner {
       : name_(std::move(name)),
         threads_(EnvThreads()),
         scale_(EnvScale()),
-        start_(std::chrono::steady_clock::now()) {}
+        start_(std::chrono::steady_clock::now()) {
+    Write(/*completed=*/false);
+  }
 
   BenchRunner(const BenchRunner&) = delete;
   BenchRunner& operator=(const BenchRunner&) = delete;
@@ -96,6 +107,11 @@ class BenchRunner {
   /// value, or "none" for harnesses that do no privacy accounting).
   void SetAccountant(const std::string& name) { accountant_ = name; }
 
+  /// Call on a harness error path before returning from main: the final
+  /// record keeps "completed": false, so trajectory tooling never mistakes
+  /// a bailed run for a measured data point.
+  void MarkFailed() { failed_ = true; }
+
   /// Extra key/value pairs for the "metrics" object.
   void AddMetric(const std::string& key, double value) {
     extras_.emplace_back(key, value);
@@ -108,24 +124,37 @@ class BenchRunner {
   }
 
   ~BenchRunner() {
+    const double wall = elapsed_seconds();
+    if (Write(/*completed=*/!failed_)) {
+      std::printf("[bench] %s: %.3fs at %zu thread%s -> %s\n", name_.c_str(),
+                  wall, threads_, threads_ == 1 ? "" : "s",
+                  OutputPath().c_str());
+    }
+  }
+
+ private:
+  std::string OutputPath() const {
     const char* dir = std::getenv("NS_BENCH_DIR");
-    const std::string path = std::string(dir != nullptr && *dir != '\0'
-                                             ? dir
-                                             : ".") +
-                             "/BENCH_" + name_ + ".json";
+    return std::string(dir != nullptr && *dir != '\0' ? dir : ".") +
+           "/BENCH_" + name_ + ".json";
+  }
+
+  bool Write(bool completed) const {
+    const std::string path = OutputPath();
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "BenchRunner: cannot write %s\n", path.c_str());
-      return;
+      return false;
     }
-    const double wall = elapsed_seconds();
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema_version\": 2,\n");
+    std::fprintf(f, "  \"schema_version\": 3,\n");
     std::fprintf(f, "  \"name\": \"%s\",\n", name_.c_str());
     std::fprintf(f, "  \"threads\": %zu,\n", threads_);
     std::fprintf(f, "  \"scale\": %s,\n", Number(scale_).c_str());
     std::fprintf(f, "  \"accountant\": \"%s\",\n", accountant_.c_str());
-    std::fprintf(f, "  \"wall_seconds\": %s,\n", Number(wall).c_str());
+    std::fprintf(f, "  \"completed\": %s,\n", completed ? "true" : "false");
+    std::fprintf(f, "  \"wall_seconds\": %s,\n",
+                 Number(elapsed_seconds()).c_str());
     std::fprintf(f, "  \"headline\": {\"metric\": \"%s\", \"value\": %s},\n",
                  headline_metric_.c_str(), Number(headline_value_).c_str());
     std::fprintf(f, "  \"metrics\": {");
@@ -135,11 +164,9 @@ class BenchRunner {
     }
     std::fprintf(f, "}\n}\n");
     std::fclose(f);
-    std::printf("[bench] %s: %.3fs at %zu thread%s -> %s\n", name_.c_str(),
-                wall, threads_, threads_ == 1 ? "" : "s", path.c_str());
+    return true;
   }
 
- private:
   static std::string Number(double v) {
     if (!std::isfinite(v)) return "null";  // keep the JSON parseable
     char buf[40];
@@ -150,6 +177,7 @@ class BenchRunner {
   std::string name_;
   size_t threads_;
   double scale_;
+  bool failed_ = false;
   std::string accountant_ = "none";
   std::chrono::steady_clock::time_point start_;
   std::string headline_metric_ = "unset";

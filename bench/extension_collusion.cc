@@ -33,6 +33,7 @@ int main() {
   if (!created.ok()) {
     std::fprintf(stderr, "session rejected: %s\n",
                  created.status().ToString().c_str());
+    bench.MarkFailed();
     return 1;
   }
   Session session = std::move(created).value();
@@ -46,11 +47,19 @@ int main() {
       "eps0=%.1f\n\n",
       k, n, t, eps0);
 
-  Table table({"colluder %", "sighting prob", "sumP^2 inflation",
-               "eps (unsighted)", "eps (no collusion)"});
+  Table table({"colluder %", "sighting prob", "end-at-colluder %",
+               "sumP^2 inflation", "eps (unsighted)", "eps (no collusion)"});
   const double base_mass =
       SumSquaresBound(1.0 / static_cast<double>(n), gap, t);
   const double eps_clean = session.RawGuaranteeAt(t, eps0).epsilon;
+
+  // One real exchange over the flat store: the fraction of all n reports
+  // resting at a colluder at submission time is the empirical (end-of-walk)
+  // counterpart of the analytic cumulative sighting probability.
+  ExchangeOptions ex_opts;
+  ex_opts.rounds = t;
+  ex_opts.seed = 2022;
+  const ExchangeResult exchange = RunExchange(g, ex_opts);
 
   // Re-certify at an inflated collision mass through the same accountant.
   const auto eps_inflated = [&](double inflation) {
@@ -65,10 +74,14 @@ int main() {
     const size_t count = static_cast<size_t>(frac * n);
     const auto colluders = SampleColluders(g, count, /*victim=*/0, &crng);
     const auto a = AnalyzeCollusion(g, colluders, /*origin=*/0, t);
+    const double end_at_colluder =
+        100.0 * static_cast<double>(EndOfWalkSightings(exchange, colluders)) /
+        static_cast<double>(n);
     bench.SetHeadline("sighting_prob_f50", a.sighting_probability);
     table.NewRow()
         .AddDouble(100.0 * frac, 0)
         .AddDouble(a.sighting_probability, 4)
+        .AddDouble(end_at_colluder, 1)
         .AddDouble(a.sum_squares_inflation, 3)
         .AddDouble(eps_inflated(a.sum_squares_inflation), 4)
         .AddDouble(eps_clean, 4);

@@ -42,6 +42,7 @@ int main() {
     if (!created.ok()) {
       std::fprintf(stderr, "%s rejected: %s\n", name,
                    created.status().ToString().c_str());
+      bench.MarkFailed();
       return 1;
     }
     sessions.push_back(std::move(created).value());

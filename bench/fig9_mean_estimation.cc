@@ -33,20 +33,26 @@ int main() {
       n, dim, kTrials, scale);
 
   // One accounting session per protocol (the operating point is the mixing
-  // time); Create validates the dataset graph once.
+  // time); Create validates the dataset graph once.  Rejections return from
+  // main (not std::exit, which would skip BenchRunner's destructor and drop
+  // this harness's JSON off the perf trajectory).
   const auto make_session = [&](ReportingProtocol protocol) {
     SessionConfig config;
     config.SetGraph(Graph(ds.graph)).SetProtocol(protocol);
-    Expected<Session> created = Session::Create(std::move(config));
-    if (!created.ok()) {
-      std::fprintf(stderr, "session rejected: %s\n",
-                   created.status().ToString().c_str());
-      std::exit(1);
-    }
-    return std::move(created).value();
+    return Session::Create(std::move(config));
   };
-  Session all_acct = make_session(ReportingProtocol::kAll);
-  Session single_acct = make_session(ReportingProtocol::kSingle);
+  Expected<Session> all_created = make_session(ReportingProtocol::kAll);
+  Expected<Session> single_created = make_session(ReportingProtocol::kSingle);
+  if (!all_created.ok() || !single_created.ok()) {
+    const Status& status = !all_created.ok() ? all_created.status()
+                                             : single_created.status();
+    std::fprintf(stderr, "session rejected: %s\n",
+                 status.ToString().c_str());
+    bench.MarkFailed();
+    return 1;
+  }
+  Session& all_acct = all_created.value();
+  Session& single_acct = single_created.value();
   bench.SetAccountant(all_acct.accountant().name());
   const size_t rounds = all_acct.target_rounds();
   std::printf("operating point: t = %zu rounds (alpha = %.5f)\n\n", rounds,

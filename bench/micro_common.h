@@ -68,7 +68,10 @@ inline int RunMicroSuite(const std::string& suite,
                          char** argv) {
   BenchRunner bench(suite);
   benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    bench.MarkFailed();
+    return 1;
+  }
   CapturingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   for (const auto& result : reporter.results()) {

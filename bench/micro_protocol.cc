@@ -24,7 +24,7 @@ void BM_ExchangeRound(benchmark::State& state) {
     opts.rounds = 1;
     opts.seed = ++seed;
     auto r = RunExchange(g, opts);
-    benchmark::DoNotOptimize(r.holdings.data());
+    benchmark::DoNotOptimize(r.holdings.arena_data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }

@@ -1,0 +1,111 @@
+// Scale study — the flat double-buffered exchange store at paper-scale
+// populations (ROADMAP north star: millions of users).  Sweeps
+// n in {10^4, 10^5, 10^6} (scaled by NS_SCALE) on 20-regular and
+// Barabasi-Albert (m = 10) graphs, runs t = mixing-time rounds through the
+// counting-sort routing pass, and reports exchange throughput
+// (reports routed per second) plus peak RSS per row.
+//
+// The reproduced claim is architectural: no shuffler entity and O(1)-ish
+// per-user state means the simulator's footprint stays a small constant per
+// user (~20 bytes/buffer in shuffle/store.h) all the way to n = 10^6, where
+// the old vector-of-vectors layout thrashed the allocator.
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "experiment_common.h"
+#include "graph/generators.h"
+#include "graph/spectral.h"
+#include "shuffle/engine.h"
+#include "util/table.h"
+
+using namespace netshuffle;
+
+namespace {
+
+double PeakRssMb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: kilobytes
+}
+
+}  // namespace
+
+int main() {
+  BenchRunner bench("scale_throughput");
+  bench.SetAccountant("none");
+  const double scale = EnvScale();
+  std::printf(
+      "Scale study: flat exchange throughput at t = mixing-time rounds "
+      "(scale=%.2f, threads=%zu)\n\n",
+      scale, EnvThreads());
+
+  Table t({"graph", "n", "t (mix)", "exchange s", "reports/s", "peak RSS MB"});
+  double headline = 0.0;
+  size_t prev_n = 0;
+  for (size_t base : {size_t{10000}, size_t{100000}, size_t{1000000}}) {
+    const size_t n =
+        std::max<size_t>(1000, static_cast<size_t>(scale * base));
+    // A small NS_SCALE can clamp several bases to the same n; rerunning it
+    // would emit duplicate keys into the JSON metrics object.
+    if (n == prev_n) continue;
+    prev_n = n;
+    // kind 0: the paper's regular regime (acceptance target); kind 1: a
+    // degree-skewed social-graph stand-in.
+    for (int kind = 0; kind < 2; ++kind) {
+      Rng rng(2022 + static_cast<uint64_t>(kind));
+      Graph g = kind == 0 ? MakeRandomRegular(n, 20, &rng)
+                          : MakeBarabasiAlbert(n, 10, &rng);
+      const double gap = EstimateSpectralGap(g).gap;
+      const size_t rounds = MixingTime(gap, n);
+
+      ExchangeOptions opts;
+      opts.rounds = rounds;
+      opts.seed = 7;
+      const auto start = std::chrono::steady_clock::now();
+      ExchangeResult ex = RunExchange(g, opts);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (ex.holdings.num_reports() != n) {
+        std::fprintf(stderr, "report conservation violated at n=%zu\n", n);
+        bench.MarkFailed();
+        return 1;
+      }
+
+      const double routed =
+          static_cast<double>(n) * static_cast<double>(rounds);
+      const double rps = wall > 0.0 ? routed / wall : 0.0;
+      const double rss = PeakRssMb();
+      const std::string label = kind == 0 ? "20-regular" : "ba-m10";
+      t.NewRow()
+          .Add(label)
+          .AddInt(static_cast<long long>(n))
+          .AddInt(static_cast<long long>(rounds))
+          .AddDouble(wall, 3)
+          .AddSci(rps, 3)
+          .AddDouble(rss, 1);
+      const std::string prefix = label + "_n" + std::to_string(n);
+      bench.AddMetric(prefix + "_reports_per_sec", rps);
+      bench.AddMetric(prefix + "_rounds", static_cast<double>(rounds));
+      bench.AddMetric(prefix + "_peak_rss_mb", rss);
+      // Headline: the regular-graph throughput at the largest n (the
+      // acceptance regime: n = 10^6 at full scale).
+      if (kind == 0) headline = rps;
+    }
+  }
+  bench.SetHeadline("kregular_reports_per_sec_largest_n", headline);
+  t.Print();
+
+  std::printf(
+      "\nReading: reports/s should stay roughly flat as n grows 100x — the "
+      "flat arena + counting-sort routing\nmakes a round one allocation-free "
+      "linear pass — and peak RSS should grow linearly in n with a small\n"
+      "constant (graph CSR + two ~20 B/user report buffers), with no "
+      "O(n)-memory shuffler entity anywhere.\n");
+  return 0;
+}

@@ -60,14 +60,20 @@ MonteCarloAccountingResult MonteCarloEpsilonAll(const Graph& g, size_t rounds,
 
       // Observed slot of the victim's report: the batch it is shuffled
       // inside before submission gives a "for free" uniform-shuffling credit
-      // on the local budget entering the walk theorem.
+      // on the local budget entering the walk theorem.  One linear arena scan
+      // finds the victim, and the offsets map the hit back to its holder's
+      // slice (the first offset > i ends the slice containing i).
       size_t slot_size = 1;
-      for (const auto& held : ex.holdings) {
-        for (const Report& r : held) {
-          if (r.origin == 0) {
-            slot_size = held.size();
-            break;
-          }
+      const ReportStore& store = ex.holdings;
+      const Report* arena = store.arena_data();
+      for (size_t i = 0; i < store.num_reports(); ++i) {
+        if (arena[i].origin == 0) {
+          const uint32_t* offsets = store.offsets_data();
+          const uint32_t* end = std::upper_bound(
+              offsets, offsets + store.num_users() + 1,
+              static_cast<uint32_t>(i));
+          slot_size = static_cast<size_t>(*end - *(end - 1));
+          break;
         }
       }
       const double within_slot =

@@ -40,6 +40,9 @@ enum class StatusCode {
   /// A replacement graph is incompatible with the running session
   /// (different node count).
   kGraphMismatch,
+  /// An edge list names an endpoint >= the declared node count; building the
+  /// CSR from it would corrupt the offsets (out-of-bounds writes).
+  kEdgeEndpointOutOfRange,
   /// Anything else (bad accountant parameters, ...).
   kInvalidArgument,
 };
@@ -56,6 +59,8 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kRoundsBelowMixingFloor:
       return "kRoundsBelowMixingFloor";
     case StatusCode::kGraphMismatch: return "kGraphMismatch";
+    case StatusCode::kEdgeEndpointOutOfRange:
+      return "kEdgeEndpointOutOfRange";
     case StatusCode::kInvalidArgument: return "kInvalidArgument";
   }
   return "kUnknown";

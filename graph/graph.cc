@@ -1,10 +1,27 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <string>
 
 namespace netshuffle {
 
+Status Graph::ValidateEdges(size_t n, const std::vector<Edge>& edges) {
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].first >= n || edges[i].second >= n) {
+      return Status::Error(
+          StatusCode::kEdgeEndpointOutOfRange,
+          "edge " + std::to_string(i) + " = (" +
+              std::to_string(edges[i].first) + ", " +
+              std::to_string(edges[i].second) + ") names an endpoint >= the "
+              "declared node count " + std::to_string(n));
+    }
+  }
+  return Status::Ok();
+}
+
 Graph Graph::FromEdges(size_t n, std::vector<Edge> edges) {
+  const Status valid = ValidateEdges(n, edges);
+  if (!valid.ok()) NETSHUFFLE_FATAL(valid.ToString());
   // Canonicalize to (min, max), drop self-loops, dedupe.
   size_t w = 0;
   for (const Edge& e : edges) {

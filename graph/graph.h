@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/status.h"
+
 namespace netshuffle {
 
 using NodeId = uint32_t;
@@ -20,9 +22,16 @@ class Graph {
  public:
   Graph() = default;
 
+  /// Typed pre-flight check for FromEdges: every endpoint must be < n.
+  /// Returns kEdgeEndpointOutOfRange naming the first offending edge.
+  static Status ValidateEdges(size_t n, const std::vector<Edge>& edges);
+
   /// Builds from an undirected edge list.  Edges may appear in either or both
   /// orientations; duplicates and self-loops are dropped.  `n` fixes the node
-  /// count (isolated nodes are representable).
+  /// count (isolated nodes are representable).  Fatal on exactly what
+  /// ValidateEdges rejects — an out-of-range endpoint used to corrupt the
+  /// CSR offsets (out-of-bounds writes); callers with untrusted input should
+  /// pre-check with ValidateEdges and surface the Status.
   static Graph FromEdges(size_t n, std::vector<Edge> edges);
 
   size_t num_nodes() const {

@@ -84,4 +84,14 @@ CollusionAudit AnalyzeCollusion(const Graph& g,
   return audit;
 }
 
+size_t EndOfWalkSightings(const ExchangeResult& exchange,
+                          const std::vector<NodeId>& colluders) {
+  const ReportStore& store = exchange.holdings;
+  size_t sighted = 0;
+  for (NodeId c : colluders) {
+    if (static_cast<size_t>(c) < store.num_users()) sighted += store.count(c);
+  }
+  return sighted;
+}
+
 }  // namespace netshuffle

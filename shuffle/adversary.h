@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "shuffle/engine.h"
 #include "util/rng.h"
 
 namespace netshuffle {
@@ -36,6 +37,13 @@ std::vector<NodeId> SampleColluders(const Graph& g, size_t count,
 CollusionAudit AnalyzeCollusion(const Graph& g,
                                 const std::vector<NodeId>& colluders,
                                 NodeId origin, size_t rounds);
+
+/// Empirical counterpart over a finished exchange's flat holdings: the
+/// number of reports resting at a colluder when the walk ends (submission-
+/// time sightings).  A lower bound on AnalyzeCollusion's cumulative sighting
+/// probability, which also counts mid-walk visits.
+size_t EndOfWalkSightings(const ExchangeResult& exchange,
+                          const std::vector<NodeId>& colluders);
 
 }  // namespace netshuffle
 

@@ -28,8 +28,11 @@ size_t ShuffleMetrics::max_user_memory() const {
 
 namespace {
 
-// A (destination, report) pair produced during the hop phase.
-using Move = std::pair<NodeId, Report>;
+// Upper bound on the number of routing shards.  Shard count is
+// scheduling-only (results are bit-identical at any value), but each shard
+// owns a full n-entry row of the counting table, so the cap bounds that
+// table at 128 bytes/user even under extreme NS_THREADS settings.
+constexpr size_t kMaxRoutingShards = 32;
 
 }  // namespace
 
@@ -48,10 +51,7 @@ Status ValidateExchangeOptions(const ExchangeOptions& options) {
 ExchangeResult StartExchange(const Graph& g, ShuffleMetrics* metrics) {
   const size_t n = g.num_nodes();
   ExchangeResult result;
-  result.holdings.resize(n);
-  for (NodeId u = 0; u < n; ++u) {
-    result.holdings[u].push_back(Report{u, u});
-  }
+  result.holdings.InitOnePerUser(n);
   if (metrics != nullptr) {
     for (NodeId u = 0; u < n; ++u) metrics->ObserveUserHoldings(u, 1);
   }
@@ -76,26 +76,29 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
   result.rounds += options.rounds;
   if (n == 0) return result;
 
+  ReportStore& store = result.holdings;
+  const size_t total = store.num_reports();
+
   // Users are sharded into contiguous ranges, one shard per pool slot.  The
   // shard count only affects scheduling: every RNG draw comes from a
-  // per-(round, user) stream, and the merge below reassembles destination
-  // lists in ascending sender order, so the holdings are bit-identical for
-  // any thread count (including 1).
-  const size_t shards = std::min<size_t>(std::max<size_t>(ThreadCount(), 1), n);
+  // per-(round, user) stream, and the counting-sort scatter below fills each
+  // destination's slice in ascending (shard, sender) order — which for
+  // contiguous ascending shards is just ascending sender order — so the
+  // holdings are bit-identical for any thread count (including 1).
+  const size_t shards = std::min(
+      {std::max<size_t>(ThreadCount(), 1), n, kMaxRoutingShards});
   std::vector<size_t> bounds(shards + 1);
   for (size_t c = 0; c <= shards; ++c) bounds[c] = c * n / shards;
-  const auto shard_of = [&](NodeId v) {
-    return static_cast<size_t>(std::upper_bound(bounds.begin(), bounds.end(),
-                                                static_cast<size_t>(v)) -
-                               bounds.begin()) -
-           1;
-  };
 
-  std::vector<std::vector<Report>> next(n);
-  // outbox[c][s]: moves produced by source shard c for destination shard s,
-  // appended in ascending sender order.
-  std::vector<std::vector<std::vector<Move>>> outbox(
-      shards, std::vector<std::vector<Move>>(shards));
+  // The double-buffer partner: each round scatters store -> next and swaps.
+  ReportStore next;
+  next.AllocateFor(n, total);
+  // dests[i]: this round's destination of the report at arena slot i.
+  std::vector<NodeId> dests(total);
+  // counts[c * n + v]: reports source shard c routed to destination v this
+  // round; the prefix pass converts each entry in place into shard c's
+  // scatter cursor within v's slice.
+  std::vector<uint32_t> counts(shards * n);
   // traffic[c]: per-shard (user, sends) counters, merged into the shared
   // ShuffleMetrics at the end of every round instead of racing on it from
   // worker threads.
@@ -105,15 +108,19 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
     // The absolute round index keys the RNG streams, so resumed chunks draw
     // exactly the coins the one-shot schedule would.
     const size_t round = options.first_round + step;
-    // Hop phase: each shard routes its users' reports into per-destination-
-    // shard outboxes.
+    const uint32_t* offsets = store.offsets_data();
+    const Report* arena = store.arena_data();
+
+    // Hop phase: each source shard draws a destination per held report and
+    // counts its per-destination load.
     GlobalPool().RunChunks(shards, [&](size_t c) {
-      for (auto& box : outbox[c]) box.clear();
+      uint32_t* count = counts.data() + c * n;
+      std::fill(count, count + n, 0u);
       traffic[c].clear();
       for (NodeId u = static_cast<NodeId>(bounds[c]);
            u < static_cast<NodeId>(bounds[c + 1]); ++u) {
-        auto& held = result.holdings[u];
-        if (held.empty()) continue;
+        const uint32_t begin = offsets[u], end = offsets[u + 1];
+        if (begin == end) continue;
         // An independent stream per (seed, round, user): no draw can depend
         // on processing order, hence none on the thread count.
         Rng rng(HashCombine(options.seed,
@@ -123,30 +130,52 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
             options.faults == nullptr || options.faults->Awake(u, round, &rng);
         if (!awake || deg == 0) {
           // Asleep (or isolated) users keep their reports this round.
-          auto& box = outbox[c][c];  // u's own shard holds it
-          for (const Report& r : held) box.emplace_back(u, r);
+          for (uint32_t i = begin; i < end; ++i) dests[i] = u;
+          count[u] += end - begin;
           continue;
         }
-        for (const Report& r : held) {
-          const NodeId dest = g.neighbors_begin(u)[rng.UniformInt(deg)];
-          outbox[c][shard_of(dest)].emplace_back(dest, r);
+        const NodeId* nbr = g.neighbors_begin(u);
+        for (uint32_t i = begin; i < end; ++i) {
+          const NodeId dest = nbr[rng.UniformInt(deg)];
+          dests[i] = dest;
+          ++count[dest];
         }
         if (options.metrics != nullptr) {
-          traffic[c].emplace_back(u, static_cast<uint64_t>(held.size()));
+          traffic[c].emplace_back(u, static_cast<uint64_t>(end - begin));
         }
       }
     });
 
-    // Merge phase: destination shard s drains source shards in ascending
-    // order, so next[v] lists reports exactly as the serial schedule would
-    // (ascending sender id), independent of shard boundaries.
-    GlobalPool().RunChunks(shards, [&](size_t s) {
-      for (size_t v = bounds[s]; v < bounds[s + 1]; ++v) next[v].clear();
+    // Prefix pass (coordinating thread): one running sum over destinations,
+    // visiting source shards in ascending order within each destination,
+    // yields both the next CSR offsets and every shard's private scatter
+    // cursor.  This fixed visit order is what pins the canonical ascending-
+    // sender layout regardless of scheduling.
+    uint32_t* next_offsets = next.mutable_offsets();
+    uint32_t run = 0;
+    for (size_t v = 0; v < n; ++v) {
+      next_offsets[v] = run;
       for (size_t c = 0; c < shards; ++c) {
-        for (const Move& m : outbox[c][s]) next[m.first].push_back(m.second);
+        uint32_t& slot = counts[c * n + v];
+        const uint32_t load = slot;
+        slot = run;  // shard c's first slot inside destination v's slice
+        run += load;
+      }
+    }
+    next_offsets[n] = run;  // == total: reports are conserved
+
+    // Scatter phase: each source shard walks its arena range in order and
+    // places reports at its pre-assigned cursors.  Writes are disjoint by
+    // construction, and slot order reproduces the serial schedule exactly.
+    Report* next_arena = next.mutable_arena();
+    GlobalPool().RunChunks(shards, [&](size_t c) {
+      uint32_t* cursor = counts.data() + c * n;
+      const uint32_t begin = offsets[bounds[c]], end = offsets[bounds[c + 1]];
+      for (uint32_t i = begin; i < end; ++i) {
+        next_arena[cursor[dests[i]]++] = arena[i];
       }
     });
-    result.holdings.swap(next);
+    store.SwapWith(&next);
 
     // Metrics merge, on the coordinating thread, in shard order.
     if (options.metrics != nullptr) {
@@ -156,7 +185,7 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
         }
       }
       for (NodeId u = 0; u < n; ++u) {
-        options.metrics->ObserveUserHoldings(u, result.holdings[u].size());
+        options.metrics->ObserveUserHoldings(u, store.count(u));
       }
     }
   }
@@ -172,10 +201,11 @@ ProtocolResult FinalizeProtocol(const ExchangeResult& exchange,
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
   ProtocolResult out;
   out.rounds = exchange.rounds;
-  out.server_inbox.reserve(exchange.holdings.size());
+  const ReportStore& store = exchange.holdings;
+  out.server_inbox.reserve(store.num_users());
 
-  for (NodeId u = 0; u < exchange.holdings.size(); ++u) {
-    auto& held = exchange.holdings[u];
+  for (NodeId u = 0; u < store.num_users(); ++u) {
+    const ReportSpan held = store.reports(u);
     if (held.empty()) {
       ++out.dummy_reports;
       continue;

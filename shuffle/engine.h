@@ -13,6 +13,7 @@
 #include "graph/graph.h"
 #include "shuffle/fault.h"
 #include "shuffle/protocol.h"
+#include "shuffle/store.h"
 
 namespace netshuffle {
 
@@ -71,8 +72,10 @@ struct ExchangeOptions {
 };
 
 struct ExchangeResult {
-  /// holdings[u] = reports user u holds after the last round.
-  std::vector<std::vector<Report>> holdings;
+  /// Flat report store: user u's holdings after the last round are the
+  /// contiguous slice holdings.reports(u) (see shuffle/store.h).  Reports
+  /// are conserved, so holdings.num_reports() == n for the whole run.
+  ReportStore holdings;
   /// Total rounds this state has been advanced (across resumed chunks).
   size_t rounds = 0;
 };

@@ -1,10 +1,17 @@
 // The untrusted curator's view: collects final reports and exposes simple
 // coverage statistics.
+//
+// Coverage is tracked incrementally on ingest — a persistent seen-origin
+// bitmap updated per received report — so PayloadCoverage() is O(1) instead
+// of re-scanning the inbox with a fresh O(n) bitmap per call.  Reports whose
+// origin lies outside the expected population are counted in
+// invalid_origin_count() instead of silently vanishing from the statistics.
 
 #ifndef NETSHUFFLE_SHUFFLE_SERVER_H_
 #define NETSHUFFLE_SHUFFLE_SERVER_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "shuffle/protocol.h"
@@ -13,10 +20,19 @@ namespace netshuffle {
 
 class Server {
  public:
-  explicit Server(size_t expected_users) : expected_users_(expected_users) {}
+  explicit Server(size_t expected_users)
+      : expected_users_(expected_users), seen_(expected_users, false) {}
 
-  void Receive(FinalReport fr) { inbox_.push_back(fr); }
+  /// Single-report ingestion; prefer ReceiveAll for whole inboxes.
+  void Receive(FinalReport fr) {
+    Observe(fr);
+    inbox_.push_back(fr);
+  }
+
+  /// Batched ingestion of a finalized inbox: one coverage pass plus a single
+  /// move/append, instead of n push_back calls.
   void ReceiveAll(std::vector<FinalReport> frs) {
+    for (const FinalReport& fr : frs) Observe(fr);
     if (inbox_.empty()) {
       inbox_ = std::move(frs);
     } else {
@@ -28,23 +44,37 @@ class Server {
   const std::vector<FinalReport>& inbox() const { return inbox_; }
 
   /// Fraction of the expected user population whose report arrived
-  /// (distinct origins / expected users).
+  /// (distinct valid origins / expected users).  O(1).
   double PayloadCoverage() const {
     if (expected_users_ == 0) return 0.0;
-    std::vector<bool> seen(expected_users_, false);
-    size_t distinct = 0;
-    for (const FinalReport& fr : inbox_) {
-      const NodeId o = fr.report.origin;
-      if (o < expected_users_ && !seen[o]) {
-        seen[o] = true;
-        ++distinct;
-      }
-    }
-    return static_cast<double>(distinct) / static_cast<double>(expected_users_);
+    return static_cast<double>(distinct_origins_) /
+           static_cast<double>(expected_users_);
   }
 
+  /// Distinct in-range origins received so far.
+  size_t distinct_origins() const { return distinct_origins_; }
+
+  /// Reports received with an origin outside [0, expected_users) —
+  /// corrupted or misaddressed submissions, surfaced instead of ignored.
+  size_t invalid_origin_count() const { return invalid_origin_count_; }
+
  private:
+  void Observe(const FinalReport& fr) {
+    const size_t o = static_cast<size_t>(fr.report.origin);
+    if (o >= expected_users_) {
+      ++invalid_origin_count_;
+      return;
+    }
+    if (!seen_[o]) {
+      seen_[o] = true;
+      ++distinct_origins_;
+    }
+  }
+
   size_t expected_users_;
+  std::vector<bool> seen_;  // origin -> already counted in distinct_origins_
+  size_t distinct_origins_ = 0;
+  size_t invalid_origin_count_ = 0;
   std::vector<FinalReport> inbox_;
 };
 

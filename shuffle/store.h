@@ -1,0 +1,108 @@
+// Flat double-buffer-able report storage for the exchange engine: one
+// contiguous Report arena plus CSR-style per-user offsets, replacing the
+// per-user heap vectors that thrashed the allocator and cache long before
+// n = 10^6 (DESIGN.md "Flat exchange memory layout").
+//
+// Invariant: user u's holdings are the contiguous slice
+// arena[offsets[u] .. offsets[u+1]), in the engine's canonical order
+// (ascending sender of the previous round, then injection order).  Reports
+// are conserved by the exchange, so the arena never grows: the engine keeps
+// two same-sized stores and swaps them every round (double buffering)
+// instead of reallocating.
+
+#ifndef NETSHUFFLE_SHUFFLE_STORE_H_
+#define NETSHUFFLE_SHUFFLE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "shuffle/protocol.h"
+
+namespace netshuffle {
+
+/// Read-only view of one user's contiguous holdings slice.
+class ReportSpan {
+ public:
+  ReportSpan(const Report* begin, const Report* end)
+      : begin_(begin), end_(end) {}
+
+  const Report* begin() const { return begin_; }
+  const Report* end() const { return end_; }
+  size_t size() const { return static_cast<size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+  const Report& operator[](size_t i) const { return begin_[i]; }
+
+ private:
+  const Report* begin_;
+  const Report* end_;
+};
+
+class ReportStore {
+ public:
+  ReportStore() = default;
+
+  /// Injection state: user u holds exactly {Report{u, u}} (round 0 of an
+  /// exchange).  Offsets are the identity CSR.
+  void InitOnePerUser(size_t n) {
+    arena_.resize(n);
+    offsets_.resize(n + 1);
+    for (size_t u = 0; u < n; ++u) {
+      arena_[u] = Report{static_cast<NodeId>(u), static_cast<uint64_t>(u)};
+      offsets_[u] = static_cast<uint32_t>(u);
+    }
+    offsets_[n] = static_cast<uint32_t>(n);
+  }
+
+  /// Sizes the buffers without initializing contents — the double-buffer
+  /// partner the engine scatters into before swapping.
+  void AllocateFor(size_t users, size_t reports) {
+    arena_.resize(reports);
+    offsets_.resize(users + 1);
+  }
+
+  size_t num_users() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  /// Total reports across all users (== num_users() for a conserved
+  /// exchange).
+  size_t num_reports() const { return arena_.size(); }
+
+  size_t count(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+  ReportSpan reports(NodeId u) const {
+    return ReportSpan(arena_.data() + offsets_[u],
+                      arena_.data() + offsets_[u + 1]);
+  }
+
+  /// Flat access for the routing pass and benches.  offsets_data() has
+  /// num_users() + 1 entries; uint32 suffices because report counts are
+  /// bounded by the NodeId population.
+  const Report* arena_data() const { return arena_.data(); }
+  const uint32_t* offsets_data() const { return offsets_.data(); }
+  Report* mutable_arena() { return arena_.data(); }
+  uint32_t* mutable_offsets() { return offsets_.data(); }
+
+  /// O(1) buffer exchange — one round's double-buffer flip.
+  void SwapWith(ReportStore* other) {
+    arena_.swap(other->arena_);
+    offsets_.swap(other->offsets_);
+  }
+
+  /// Heap footprint of this buffer (the 10^6-node smoke test pins this to
+  /// ~20 bytes/user; the engine's transient peak is two buffers plus its
+  /// routing tables).
+  size_t MemoryBytes() const {
+    return arena_.capacity() * sizeof(Report) +
+           offsets_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  std::vector<Report> arena_;
+  std::vector<uint32_t> offsets_;  // num_users() + 1 entries
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_SHUFFLE_STORE_H_

@@ -25,14 +25,16 @@ int main() {
   CHECK(ex.rounds == rounds);
   size_t total = 0;
   std::vector<bool> seen(n, false);
-  for (const auto& held : ex.holdings) {
-    for (const Report& r : held) {
+  CHECK(ex.holdings.num_users() == n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Report& r : ex.holdings.reports(u)) {
       ++total;
       CHECK(!seen[r.origin]);
       seen[r.origin] = true;
     }
   }
   CHECK(total == n);
+  CHECK(ex.holdings.num_reports() == n);
 
   // Every user forwards each held report once per round: mean traffic ==
   // rounds exactly (no faults), and holdings stay O(1)-ish.
@@ -54,7 +56,7 @@ int main() {
     }
     CHECK(fin.server_inbox.size() + fin.dropped_reports == n);
     size_t holders = 0;
-    for (const auto& held : ex.holdings) holders += !held.empty();
+    for (NodeId u = 0; u < n; ++u) holders += ex.holdings.count(u) > 0;
     CHECK(fin.dummy_reports == n - holders);
     if (protocol == ReportingProtocol::kAll) {
       CHECK(fin.dropped_reports == 0);  // kAll submits everything held
@@ -99,7 +101,7 @@ int main() {
   lazy_opts.metrics = &lazy_metrics;
   ExchangeResult lex = RunExchange(g, lazy_opts);
   size_t lazy_total = 0;
-  for (const auto& held : lex.holdings) lazy_total += held.size();
+  for (NodeId u = 0; u < n; ++u) lazy_total += lex.holdings.count(u);
   CHECK(lazy_total == n);
   CHECK(lazy_metrics.mean_user_traffic() < 0.7 * rounds);
   CHECK(lazy_metrics.mean_user_traffic() > 0.3 * rounds);
@@ -107,7 +109,7 @@ int main() {
   // Determinism: same seed, same final holdings.
   ExchangeResult ex2 = RunExchange(g, opts);
   for (NodeId u = 0; u < n; ++u) {
-    CHECK(ex2.holdings[u].size() == ex.holdings[u].size());
+    CHECK(ex2.holdings.count(u) == ex.holdings.count(u));
   }
   return 0;
 }

@@ -1,5 +1,8 @@
 #include "graph/graph.h"
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "graph/connectivity.h"
@@ -67,5 +70,26 @@ int main() {
 
   Graph missing;
   CHECK(!LoadEdgeList("does_not_exist.edges", &missing));
+
+  // Regression: endpoints >= n used to corrupt the CSR offsets silently
+  // (out-of-bounds writes).  The typed validator names the offender...
+  CHECK(Graph::ValidateEdges(5, {{0, 1}, {1, 4}}).ok());
+  const Status bad = Graph::ValidateEdges(5, {{0, 1}, {3, 5}});
+  CHECK(bad.code() == StatusCode::kEdgeEndpointOutOfRange);
+  CHECK(Graph::ValidateEdges(3, {{7, 0}}).code() ==
+        StatusCode::kEdgeEndpointOutOfRange);
+  CHECK(Graph::ValidateEdges(0, {}).ok());
+
+  // ...and FromEdges aborts on exactly that instead of building garbage;
+  // run the violation in a forked child and expect an abnormal exit.
+  const pid_t pid = fork();
+  CHECK(pid >= 0);
+  if (pid == 0) {
+    (void)Graph::FromEdges(3, {{0, 5}});  // must abort
+    _exit(0);                             // reaching here fails the parent
+  }
+  int wstatus = 0;
+  CHECK(waitpid(pid, &wstatus, 0) == pid);
+  CHECK(!(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0));
   return 0;
 }

@@ -19,6 +19,15 @@ using namespace netshuffle;
 
 namespace {
 
+// Materializes the flat store as per-user vectors for easy comparison.
+std::vector<std::vector<Report>> Flatten(const ReportStore& store) {
+  std::vector<std::vector<Report>> out(store.num_users());
+  for (NodeId u = 0; u < store.num_users(); ++u) {
+    for (const Report& r : store.reports(u)) out[u].push_back(r);
+  }
+  return out;
+}
+
 struct Snapshot {
   std::vector<std::vector<Report>> holdings;
   std::vector<std::vector<Report>> faulty_holdings;
@@ -42,7 +51,7 @@ Snapshot RunAll(const Graph& g, size_t threads) {
   opts.seed = 2022;
   ShuffleMetrics metrics(g.num_nodes());
   opts.metrics = &metrics;
-  s.holdings = RunExchange(g, opts).holdings;
+  s.holdings = Flatten(RunExchange(g, opts).holdings);
   s.max_traffic = metrics.max_user_traffic();
   s.mean_traffic = metrics.mean_user_traffic();
   s.max_memory = metrics.max_user_memory();
@@ -52,7 +61,7 @@ Snapshot RunAll(const Graph& g, size_t threads) {
   ExchangeOptions faulty = opts;
   faulty.metrics = nullptr;
   faulty.faults = &lazy;
-  s.faulty_holdings = RunExchange(g, faulty).holdings;
+  s.faulty_holdings = Flatten(RunExchange(g, faulty).holdings);
 
   const auto mc = MonteCarloEpsilonAll(g, /*rounds=*/8, /*epsilon0=*/1.0,
                                        /*delta_total=*/1e-6, /*trials=*/24,
@@ -119,6 +128,10 @@ int main() {
     size_t total = 0;
     for (const auto& held : t4.holdings) total += held.size();
     CHECK(total == g->num_nodes());
+    // The shard cap (routing-table memory bound) must not break identity
+    // above it either.
+    const Snapshot t64 = RunAll(*g, 64);
+    CheckIdentical(t1, t64);
     CHECK(t4.mc_mean > 0.0);
     CHECK(t4.mc_mean <= t4.mc_quantile + 1e-12);
   }

@@ -1,0 +1,82 @@
+// Regression tests for the curator's coverage accounting
+// (shuffle/server.h): coverage is tracked incrementally on ingest (O(1)
+// queries), out-of-range origins are counted in invalid_origin_count()
+// instead of silently vanishing, and batched ingestion is equivalent to
+// per-report ingestion.
+
+#include <vector>
+
+#include "shuffle/server.h"
+#include "tests/test_util.h"
+
+using namespace netshuffle;
+
+namespace {
+
+FinalReport Make(NodeId origin, NodeId holder) {
+  return FinalReport{Report{origin, origin}, holder};
+}
+
+}  // namespace
+
+int main() {
+  // Incremental coverage: each new distinct origin moves the O(1) query.
+  {
+    Server server(4);
+    CHECK(server.PayloadCoverage() == 0.0);
+    server.Receive(Make(0, 1));
+    CHECK_NEAR(server.PayloadCoverage(), 0.25, 1e-12);
+    server.Receive(Make(0, 2));  // duplicate origin: no change
+    CHECK_NEAR(server.PayloadCoverage(), 0.25, 1e-12);
+    CHECK(server.distinct_origins() == 1);
+    server.Receive(Make(1, 0));
+    server.Receive(Make(2, 0));
+    server.Receive(Make(3, 0));
+    CHECK_NEAR(server.PayloadCoverage(), 1.0, 1e-12);
+    CHECK(server.num_received() == 5);
+    CHECK(server.invalid_origin_count() == 0);
+  }
+
+  // Regression: out-of-range origins used to be silently ignored by the
+  // coverage scan; they are now surfaced while coverage stays correct.
+  {
+    Server server(3);
+    server.Receive(Make(0, 0));
+    server.Receive(Make(7, 0));    // origin >= expected_users
+    server.Receive(Make(3, 0));    // boundary: first invalid id
+    CHECK(server.invalid_origin_count() == 2);
+    CHECK(server.distinct_origins() == 1);
+    CHECK_NEAR(server.PayloadCoverage(), 1.0 / 3.0, 1e-12);
+    CHECK(server.num_received() == 3);  // still stored in the inbox
+  }
+
+  // Batched ingestion == per-report ingestion, including across multiple
+  // batches appended to a non-empty inbox.
+  {
+    const std::vector<FinalReport> batch1 = {Make(0, 1), Make(2, 1),
+                                             Make(9, 1)};
+    const std::vector<FinalReport> batch2 = {Make(2, 0), Make(4, 0)};
+    Server batched(5), single(5);
+    batched.ReceiveAll(batch1);
+    batched.ReceiveAll(batch2);
+    for (const FinalReport& fr : batch1) single.Receive(fr);
+    for (const FinalReport& fr : batch2) single.Receive(fr);
+    CHECK(batched.num_received() == single.num_received());
+    CHECK(batched.distinct_origins() == single.distinct_origins());
+    CHECK(batched.invalid_origin_count() == single.invalid_origin_count());
+    CHECK(batched.PayloadCoverage() == single.PayloadCoverage());
+    CHECK(batched.distinct_origins() == 3);
+    CHECK(batched.invalid_origin_count() == 1);
+    CHECK(batched.inbox().size() == 5);
+  }
+
+  // Degenerate population: zero expected users reports zero coverage and
+  // counts every origin invalid.
+  {
+    Server server(0);
+    server.Receive(Make(0, 0));
+    CHECK(server.PayloadCoverage() == 0.0);
+    CHECK(server.invalid_origin_count() == 1);
+  }
+  return 0;
+}
