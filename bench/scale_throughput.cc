@@ -1,4 +1,4 @@
-// Scale study — the flat double-buffered exchange store at paper-scale
+// Scale study — the index-routed double-buffered exchange at paper-scale
 // populations (ROADMAP north star: millions of users).  Sweeps
 // n in {10^4, 10^5, 10^6} (scaled by NS_SCALE) on 20-regular and
 // Barabasi-Albert (m = 10) graphs, runs t = mixing-time rounds through the
@@ -7,8 +7,12 @@
 //
 // The reproduced claim is architectural: no shuffler entity and O(1)-ish
 // per-user state means the simulator's footprint stays a small constant per
-// user (~20 bytes/buffer in shuffle/store.h) all the way to n = 10^6, where
-// the old vector-of-vectors layout thrashed the allocator.
+// user all the way to n = 10^6.  Since DESIGN.md §4d the scatter moves a
+// 4-byte ReportId per report per round (~8 bytes/user per routing buffer in
+// shuffle/store.h) while the immutable origin/payload columns sit untouched
+// in the PayloadArena — the checked-in bench/baseline_scale.json pins the
+// PR 4 struct-routing throughput, and CI's scale job fails on a > 20% drop
+// (tools/perf_gate.py).
 
 #include <sys/resource.h>
 
@@ -93,6 +97,9 @@ int main() {
       bench.AddMetric(prefix + "_reports_per_sec", rps);
       bench.AddMetric(prefix + "_rounds", static_cast<double>(rounds));
       bench.AddMetric(prefix + "_peak_rss_mb", rss);
+      bench.AddMetric(prefix + "_routing_bytes_per_user",
+                      static_cast<double>(ex.holdings.MemoryBytes()) /
+                          static_cast<double>(n));
       // Headline: the regular-graph throughput at the largest n (the
       // acceptance regime: n = 10^6 at full scale).
       if (kind == 0) headline = rps;
@@ -103,9 +110,10 @@ int main() {
 
   std::printf(
       "\nReading: reports/s should stay roughly flat as n grows 100x — the "
-      "flat arena + counting-sort routing\nmakes a round one allocation-free "
-      "linear pass — and peak RSS should grow linearly in n with a small\n"
-      "constant (graph CSR + two ~20 B/user report buffers), with no "
-      "O(n)-memory shuffler entity anywhere.\n");
+      "id arena + counting-sort routing\nmakes a round one allocation-free "
+      "linear pass over 4 B/report — and peak RSS should grow linearly\nin "
+      "n with a small constant (graph CSR + two ~8 B/user routing buffers + "
+      "the write-once payload\ncolumns), with no O(n)-memory shuffler "
+      "entity anywhere.\n");
   return 0;
 }

@@ -60,14 +60,16 @@ MonteCarloAccountingResult MonteCarloEpsilonAll(const Graph& g, size_t rounds,
 
       // Observed slot of the victim's report: the batch it is shuffled
       // inside before submission gives a "for free" uniform-shuffling credit
-      // on the local budget entering the walk theorem.  One linear arena scan
-      // finds the victim, and the offsets map the hit back to its holder's
+      // on the local budget entering the walk theorem.  One linear arena
+      // scan over the routed ids finds the victim (the id whose arena
+      // origin is node 0), and the offsets map the hit back to its holder's
       // slice (the first offset > i ends the slice containing i).
       size_t slot_size = 1;
       const ReportStore& store = ex.holdings;
-      const Report* arena = store.arena_data();
+      const PayloadArena& payloads = *ex.payloads;
+      const ReportId* arena = store.arena_data();
       for (size_t i = 0; i < store.num_reports(); ++i) {
-        if (arena[i].origin == 0) {
+        if (payloads.origin(arena[i]) == 0) {
           const uint32_t* offsets = store.offsets_data();
           const uint32_t* end = std::upper_bound(
               offsets, offsets + store.num_users() + 1,

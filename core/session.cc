@@ -47,6 +47,38 @@ Status Session::Validate(const SessionConfig& config) {
           "(SessionConfig::AllowNonErgodic overrides)");
     }
   }
+  if (config.has_payloads()) {
+    const PayloadArena& arena = config.payloads();
+    const size_t n = config.graph().num_nodes();
+    if (arena.num_reports() != n) {
+      return Status::Error(
+          StatusCode::kPayloadMismatch,
+          "the payload arena holds " + std::to_string(arena.num_reports()) +
+              " reports for " + std::to_string(n) +
+              " users; the protocol injects exactly one report per user");
+    }
+    std::vector<bool> seen(n, false);
+    for (ReportId r = 0; r < static_cast<ReportId>(n); ++r) {
+      const NodeId o = arena.origin(r);
+      if (static_cast<size_t>(o) >= n) {
+        return Status::Error(
+            StatusCode::kPayloadMismatch,
+            "report " + std::to_string(r) + " has origin " +
+                std::to_string(o) + " outside the " + std::to_string(n) +
+                "-user population");
+      }
+      if (seen[o]) {
+        // A duplicated origin means one user spends its eps0 budget twice
+        // (and another spends none): every accountant assumes one report
+        // per user, so the certified epsilon would silently be wrong.
+        return Status::Error(
+            StatusCode::kPayloadMismatch,
+            "origin " + std::to_string(o) + " injects more than one report; "
+                "the protocol (and its accounting) is one report per user");
+      }
+      seen[o] = true;
+    }
+  }
   if (config.require_mixed_rounds() && config.rounds() > 0) {
     // Costs a spectral estimate that Create's constructor repeats; the
     // duplication is confined to this opt-in check.
@@ -93,7 +125,9 @@ Session::Session(SessionConfig config)
   mixing_rounds_ = MixingTime(gap_, graph_.num_nodes());
   rounds_fixed_ = config.rounds() > 0;
   target_rounds_ = rounds_fixed_ ? config.rounds() : mixing_rounds_;
-  state_ = StartExchange(graph_, metrics_);
+  state_ = config.has_payloads()
+               ? StartExchange(graph_, config.ReleasePayloads(), metrics_)
+               : StartExchange(graph_, metrics_);
 }
 
 double Session::Gamma() const {

@@ -27,13 +27,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "core/accountant.h"
 #include "core/status.h"
 #include "dp/mechanism.h"
 #include "graph/graph.h"
 #include "shuffle/engine.h"
+#include "shuffle/payload.h"
 #include "shuffle/protocol.h"
 
 namespace netshuffle {
@@ -76,6 +79,17 @@ class SessionConfig {
   SessionConfig& SetMechanism(const Mechanism& mechanism) {
     epsilon0_ = mechanism.epsilon0();
     mechanism_name_ = mechanism.name();
+    return *this;
+  }
+
+  /// The randomized payload bytes the exchange routes: one report per user
+  /// (typically emitted via Mechanism::EmitReport into the arena).  The
+  /// session freezes and adopts the arena at Create; Validate rejects a
+  /// report count != the graph's user count or an out-of-range origin with
+  /// kPayloadMismatch.  Without this, the session runs over an identity
+  /// arena (origin(r) == r, zero payload bytes) — a routing-only exchange.
+  SessionConfig& SetPayloads(PayloadArena payloads) {
+    payloads_ = std::move(payloads);
     return *this;
   }
 
@@ -128,6 +142,10 @@ class SessionConfig {
   const Graph& graph() const { return graph_; }
   /// Moves the graph out (Session::Create adopts it this way).
   Graph ReleaseGraph() { return std::move(graph_); }
+  bool has_payloads() const { return payloads_.has_value(); }
+  const PayloadArena& payloads() const { return *payloads_; }
+  /// Moves the arena out (Session::Create adopts it this way).
+  PayloadArena ReleasePayloads() { return std::move(*payloads_); }
   ReportingProtocol protocol() const { return protocol_; }
   size_t rounds() const { return rounds_; }
   double epsilon0() const { return epsilon0_; }
@@ -143,6 +161,7 @@ class SessionConfig {
 
  private:
   Graph graph_;
+  std::optional<PayloadArena> payloads_;
   ReportingProtocol protocol_ = ReportingProtocol::kAll;
   size_t rounds_ = 0;
   double epsilon0_ = 1.0;
@@ -184,6 +203,9 @@ class Session {
   double Gamma() const;
 
   size_t current_round() const { return state_.rounds; }
+  /// The immutable origin/payload columns the session's routed ids index
+  /// into (also shared into every Finalize result).
+  const PayloadArena& payloads() const { return *state_.payloads; }
   double epsilon0() const { return epsilon0_; }
   const std::string& mechanism_name() const { return mechanism_name_; }
   ReportingProtocol protocol() const { return protocol_; }
@@ -212,8 +234,7 @@ class Session {
   ProtocolResult Finalize() const { return Finalize(protocol_); }
   ProtocolResult Finalize(ReportingProtocol protocol) const;
 
-  /// One-shot convenience: StepToTarget + Finalize.  Equivalent to (and
-  /// bit-identical with) the deprecated NetworkShuffler::Run.
+  /// One-shot convenience: StepToTarget + Finalize.
   ProtocolResult Run();
 
   /// Replaces the communication graph between steps (dynamic networks,

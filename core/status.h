@@ -10,6 +10,8 @@
 #ifndef NETSHUFFLE_CORE_STATUS_H_
 #define NETSHUFFLE_CORE_STATUS_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -43,6 +45,10 @@ enum class StatusCode {
   /// An edge list names an endpoint >= the declared node count; building the
   /// CSR from it would corrupt the offsets (out-of-bounds writes).
   kEdgeEndpointOutOfRange,
+  /// A PayloadArena is incompatible with the session's graph: wrong report
+  /// count (the protocol injects exactly one report per user) or an origin
+  /// outside the user population.
+  kPayloadMismatch,
   /// Anything else (bad accountant parameters, ...).
   kInvalidArgument,
 };
@@ -61,6 +67,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kGraphMismatch: return "kGraphMismatch";
     case StatusCode::kEdgeEndpointOutOfRange:
       return "kEdgeEndpointOutOfRange";
+    case StatusCode::kPayloadMismatch: return "kPayloadMismatch";
     case StatusCode::kInvalidArgument: return "kInvalidArgument";
   }
   return "kUnknown";
@@ -105,6 +112,18 @@ class Status {
 }
 
 #define NETSHUFFLE_FATAL(msg) ::netshuffle::FatalError(__FILE__, __LINE__, (msg))
+
+/// Checked size_t -> uint32_t narrowing for the CSR offset columns
+/// (shuffle/store.h, shuffle/payload.h): fatal instead of silently wrapping,
+/// because a wrapped offset corrupts every slice after it.  `what` names the
+/// quantity for the error message.
+inline uint32_t CheckedNarrow32(size_t value, const char* what) {
+  if (value > 0xffffffffULL) {
+    NETSHUFFLE_FATAL(std::string(what) + " = " + std::to_string(value) +
+                     " does not fit a uint32 offset column");
+  }
+  return static_cast<uint32_t>(value);
+}
 
 /// Result-or-error for factories (Session::Create).  Holds either a T or a
 /// non-OK Status; accessing the wrong arm is a fatal error, so callers either

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dp/mechanism.h"
+#include "shuffle/payload.h"
 #include "util/rng.h"
 
 namespace netshuffle {
@@ -23,8 +24,18 @@ class KRandomizedResponse : public Mechanism {
 
   const char* name() const override { return "k-rr"; }
   double epsilon0() const override { return epsilon_; }
+  PayloadKind payload_kind() const override { return PayloadKind::kBucket; }
+  size_t payload_size() const override { return sizeof(uint32_t); }
 
   uint32_t Randomize(uint32_t value, Rng* rng) const;
+
+  /// Randomizes `value` and appends the resulting 4-byte bucket payload to
+  /// the arena as a report from `origin`; decode curator-side with
+  /// PayloadArena::BucketAt.
+  ReportId EmitReport(NodeId origin, uint32_t value, Rng* rng,
+                      PayloadArena* arena) const {
+    return arena->AppendBucket(origin, Randomize(value, rng));
+  }
 
   /// Unbiased estimate of the true category *proportions* from randomized
   /// counts over n reports.
@@ -50,9 +61,19 @@ class LaplaceMechanism : public Mechanism {
 
   const char* name() const override { return "laplace"; }
   double epsilon0() const override { return epsilon_; }
+  PayloadKind payload_kind() const override { return PayloadKind::kScalar; }
+  size_t payload_size() const override { return sizeof(double); }
 
   double Randomize(double value, Rng* rng) const {
     return value + rng->Laplace(scale_);
+  }
+
+  /// Randomizes `value` and appends the resulting 8-byte scalar payload to
+  /// the arena as a report from `origin`; decode curator-side with
+  /// PayloadArena::ScalarAt.
+  ReportId EmitReport(NodeId origin, double value, Rng* rng,
+                      PayloadArena* arena) const {
+    return arena->AppendScalar(origin, Randomize(value, rng));
   }
 
   double scale() const { return scale_; }

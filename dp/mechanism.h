@@ -1,14 +1,44 @@
 // The Mechanism interface: what the session layer needs to know about a
-// local randomizer — its identity and the eps0-LDP budget its reports carry
-// into the amplification theorems.  The concrete randomization APIs stay
-// typed (k-RR maps categories, Laplace maps scalars, PrivUnit maps unit
-// vectors), so Mechanism deliberately does not force a common Randomize
-// signature; it is the accounting-facing face of dp/ldp.h and dp/privunit.h.
+// local randomizer — its identity, the eps0-LDP budget its reports carry
+// into the amplification theorems, and the shape of the payload bytes it
+// emits into the exchange's PayloadArena (shuffle/payload.h).
+//
+// The concrete randomization APIs stay typed (k-RR maps categories, Laplace
+// maps scalars, PrivUnit maps unit vectors), so Mechanism deliberately does
+// not force a common Randomize signature; each concrete mechanism instead
+// offers an EmitReport overload that randomizes one typed input and appends
+// the resulting payload bytes to an arena (see dp/ldp.h, dp/privunit.h).
 
 #ifndef NETSHUFFLE_DP_MECHANISM_H_
 #define NETSHUFFLE_DP_MECHANISM_H_
 
+#include <cstddef>
+#include <cstdint>
+
 namespace netshuffle {
+
+/// What one report's payload bytes decode as (the PayloadArena typed
+/// accessors: BucketAt / ScalarAt / VectorAt).
+enum class PayloadKind : uint8_t {
+  /// No payload bytes — a routing-only exchange (the identity arena).
+  kNone = 0,
+  /// One host-order double (8 B): Laplace-perturbed scalars.
+  kScalar,
+  /// One host-order uint32 (4 B): a k-RR histogram bucket.
+  kBucket,
+  /// d host-order doubles (8d B): a PrivUnit-randomized direction.
+  kVector,
+};
+
+inline const char* PayloadKindName(PayloadKind kind) {
+  switch (kind) {
+    case PayloadKind::kNone: return "none";
+    case PayloadKind::kScalar: return "scalar";
+    case PayloadKind::kBucket: return "bucket";
+    case PayloadKind::kVector: return "vector";
+  }
+  return "unknown";
+}
 
 class Mechanism {
  public:
@@ -20,6 +50,13 @@ class Mechanism {
 
   /// The per-report local DP budget the amplification theorems consume.
   virtual double epsilon0() const = 0;
+
+  /// Shape of the payload bytes this mechanism's EmitReport appends.
+  virtual PayloadKind payload_kind() const { return PayloadKind::kNone; }
+
+  /// Payload bytes per report (fixed per mechanism; arenas support
+  /// different sizes across mechanisms).  0 for kNone.
+  virtual size_t payload_size() const { return 0; }
 };
 
 }  // namespace netshuffle

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "dp/mechanism.h"
+#include "shuffle/payload.h"
 #include "util/rng.h"
 
 namespace netshuffle {
@@ -24,10 +25,20 @@ class PrivUnit : public Mechanism {
 
   const char* name() const override { return "privunit"; }
   double epsilon0() const override { return epsilon0_; }
+  PayloadKind payload_kind() const override { return PayloadKind::kVector; }
+  size_t payload_size() const override { return dim_ * sizeof(double); }
 
   /// `unit` must have norm ~1.  Returns the randomized (scaled) vector.
   std::vector<double> Randomize(const std::vector<double>& unit,
                                 Rng* rng) const;
+
+  /// Randomizes `unit` and appends the resulting 8d-byte vector payload to
+  /// the arena as a report from `origin`; decode curator-side with
+  /// PayloadArena::VectorAt.
+  ReportId EmitReport(NodeId origin, const std::vector<double>& unit,
+                      Rng* rng, PayloadArena* arena) const {
+    return arena->AppendVector(origin, Randomize(unit, rng));
+  }
 
   /// The debiasing scale: every output has l2 norm exactly scale().
   double scale() const { return scale_; }

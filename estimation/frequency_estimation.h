@@ -1,0 +1,68 @@
+// Private frequency estimation (histogram release) over network shuffling:
+// k-RR randomization into 4-byte bucket payloads, index-routed exchange,
+// curator-side counting straight from the PayloadArena slices, and k-RR
+// debiasing — the second end-to-end estimation scenario next to the
+// Figure-9 mean workload (ROADMAP: scenario diversity).
+
+#ifndef NETSHUFFLE_ESTIMATION_FREQUENCY_ESTIMATION_H_
+#define NETSHUFFLE_ESTIMATION_FREQUENCY_ESTIMATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dp/ldp.h"
+#include "graph/graph.h"
+#include "shuffle/protocol.h"
+#include "util/rng.h"
+
+namespace netshuffle {
+
+struct FrequencyEstimationConfig {
+  size_t categories = 16;
+  double epsilon0 = 1.0;
+  /// Exchange rounds; 0 resolves to the graph's mixing time (callers with a
+  /// Session in hand should pass its target_rounds() to keep the accounting
+  /// and the run at the same operating point).
+  size_t rounds = 0;
+  ReportingProtocol protocol = ReportingProtocol::kAll;
+  /// Zipf-ish skew of the true category distribution (weight of category c
+  /// is proportional to 1 / (c + 1)^skew).
+  double skew = 1.0;
+  uint64_t seed = 1;
+};
+
+struct FrequencyEstimationResult {
+  /// Debiased category proportion estimates (sums to ~1).
+  std::vector<double> estimate;
+  /// The sampled ground-truth proportions.
+  std::vector<double> true_frequency;
+  /// sum_c |estimate[c] - true_frequency[c]| (total variation x 2).
+  double l1_error = 0.0;
+  size_t genuine_reports = 0;
+  size_t dummy_reports = 0;
+  size_t dropped_reports = 0;
+};
+
+/// Samples a skewed category per user, k-RR randomizes it into a 4-byte
+/// bucket payload, runs the index-routed exchange, and debiases the
+/// curator-side bucket counts.  Under kSingle, dummy submitters draw a
+/// uniform category and k-RR it (indistinguishable), and dropped surplus
+/// reports are simply absent — both bias the estimate, the same utility
+/// cost Figure 9 measures for the mean workload.
+FrequencyEstimationResult RunFrequencyEstimation(
+    const Graph& g, const FrequencyEstimationConfig& config);
+
+/// Curator-side aggregation shared by RunFrequencyEstimation and the
+/// Session-level harness (bench/extension_frequency.cc): counts buckets
+/// straight from the arena slices of the delivered ids (out-of-range
+/// buckets are ignored), injects indistinguishable uniform-category k-RR
+/// dummies under kSingle (drawing from `rng`), and returns the debiased
+/// proportion estimates.
+std::vector<double> AggregateFrequency(const ProtocolResult& pr,
+                                       const KRandomizedResponse& rr,
+                                       ReportingProtocol protocol, Rng* rng);
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_ESTIMATION_FREQUENCY_ESTIMATION_H_

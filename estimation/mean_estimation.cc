@@ -1,12 +1,14 @@
 #include "estimation/mean_estimation.h"
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "dp/privunit.h"
 #include "graph/spectral.h"
 #include "graph/walk.h"
 #include "shuffle/engine.h"
+#include "shuffle/payload.h"
 #include "util/rng.h"
 
 namespace netshuffle {
@@ -25,20 +27,20 @@ std::vector<double> NormalizedGaussian(size_t dim, double mean, Rng* rng) {
 }
 
 struct Workload {
-  std::vector<std::vector<double>> randomized;  // per-user PrivUnit output
+  PayloadArena arena;  // per-user PrivUnit output as 8d-byte vector payloads
   std::vector<double> true_mean;
 };
 
 Workload MakeWorkload(size_t n, const MeanEstimationConfig& config, Rng* rng) {
   Workload w;
   w.true_mean.assign(config.dim, 0.0);
-  w.randomized.resize(n);
   PrivUnit pu(config.dim, config.epsilon0);
+  w.arena.Reserve(n, n * pu.payload_size());
   for (size_t u = 0; u < n; ++u) {
     const double mu = u < n / 2 ? 1.0 : 10.0;
     const auto truth = NormalizedGaussian(config.dim, mu, rng);
     for (size_t i = 0; i < config.dim; ++i) w.true_mean[i] += truth[i];
-    w.randomized[u] = pu.Randomize(truth, rng);
+    pu.EmitReport(static_cast<NodeId>(u), truth, rng, &w.arena);
   }
   for (double& x : w.true_mean) x /= static_cast<double>(n);
   return w;
@@ -69,17 +71,21 @@ MeanEstimationResult RunMeanEstimation(const Graph& g,
                     ? config.rounds
                     : MixingTime(EstimateSpectralGap(g).gap, n);
   opts.seed = config.seed ^ 0xfeedULL;
-  ProtocolResult pr = RunProtocol(g, config.protocol, opts);
+  ExchangeResult ex =
+      ResumeExchange(g, StartExchange(g, std::move(w.arena)), opts);
+  ProtocolResult pr = FinalizeProtocol(ex, config.protocol, opts.seed);
 
   MeanEstimationResult result;
   result.genuine_reports = pr.server_inbox.size();
   result.dummy_reports = pr.dummy_reports;
   result.dropped_reports = pr.dropped_reports;
 
+  // Curator-side aggregation straight from the arena slices the delivered
+  // ids index into.
   std::vector<double> est(config.dim, 0.0);
   size_t contributions = 0;
   for (const FinalReport& fr : pr.server_inbox) {
-    const auto& v = w.randomized[fr.report.payload];
+    const std::vector<double> v = pr.payloads->VectorAt(fr.id);
     for (size_t i = 0; i < config.dim; ++i) est[i] += v[i];
     ++contributions;
   }
@@ -107,7 +113,8 @@ MeanEstimationResult RunMeanEstimationUniformShuffle(
   Rng rng(config.seed);
   Workload w = MakeWorkload(n, config, &rng);
   std::vector<double> est(config.dim, 0.0);
-  for (const auto& v : w.randomized) {
+  for (ReportId r = 0; r < static_cast<ReportId>(n); ++r) {
+    const std::vector<double> v = w.arena.VectorAt(r);
     for (size_t i = 0; i < config.dim; ++i) est[i] += v[i];
   }
   for (double& x : est) x /= static_cast<double>(n);

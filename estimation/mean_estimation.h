@@ -36,6 +36,11 @@ struct MeanEstimationResult {
 /// coordinate from N(1,1) (first half) or N(10,1) (second half), then
 /// normalized; dummies submit uniformly random directions.
 ///
+/// Each user's PrivUnit output is emitted as real randomized bytes into the
+/// exchange's PayloadArena (8d-byte vector payloads), index-routed through
+/// the walk, and the curator aggregates directly from the arena slices of
+/// the delivered report ids — no side channel back to per-user state.
+///
 /// Under kAll every genuine report reaches the curator and dummy slots are
 /// identifiable padding, so the estimate averages the n genuine reports.
 /// Under kSingle dummies are indistinguishable by design, so they (and the

@@ -1,6 +1,11 @@
 #include "estimation/summation.h"
 
 #include <cmath>
+#include <utility>
+
+#include "dp/ldp.h"
+#include "shuffle/engine.h"
+#include "shuffle/payload.h"
 
 namespace netshuffle {
 
@@ -20,6 +25,38 @@ double SummationRmse(const std::vector<double>& values, double epsilon,
     sum_sq_err += err * err;
   }
   return std::sqrt(sum_sq_err / static_cast<double>(trials));
+}
+
+NetworkSummationResult SummationOverNetwork(const Graph& g,
+                                            const std::vector<double>& values,
+                                            double lo, double hi,
+                                            double epsilon0, size_t rounds,
+                                            uint64_t seed) {
+  const size_t n = g.num_nodes();
+  Rng rng(seed);
+  LaplaceMechanism lap(lo, hi, epsilon0);
+
+  NetworkSummationResult result;
+  PayloadArena arena;
+  arena.Reserve(n, n * lap.payload_size());
+  for (size_t u = 0; u < n; ++u) {
+    result.true_sum += values[u];
+    lap.EmitReport(static_cast<NodeId>(u), values[u], &rng, &arena);
+  }
+
+  ExchangeOptions opts;
+  opts.rounds = rounds;
+  opts.seed = seed ^ 0x5a5aULL;
+  ExchangeResult ex =
+      ResumeExchange(g, StartExchange(g, std::move(arena)), opts);
+  ProtocolResult pr = FinalizeProtocol(ex, ReportingProtocol::kAll, opts.seed);
+
+  // Curator-side aggregation straight from the arena slices.
+  for (const FinalReport& fr : pr.server_inbox) {
+    result.estimate += pr.payloads->ScalarAt(fr.id);
+  }
+  result.delivered_reports = pr.server_inbox.size();
+  return result;
 }
 
 }  // namespace netshuffle

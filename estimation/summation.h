@@ -5,9 +5,11 @@
 #define NETSHUFFLE_ESTIMATION_SUMMATION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dp/amplification.h"  // the inverse accountant pairs with this API
+#include "graph/graph.h"
 #include "util/rng.h"
 
 namespace netshuffle {
@@ -17,6 +19,25 @@ namespace netshuffle {
 /// central=false: every user perturbs locally with Laplace(1/eps).
 double SummationRmse(const std::vector<double>& values, double epsilon,
                      bool central, size_t trials, Rng* rng);
+
+struct NetworkSummationResult {
+  /// Curator-side sum of the delivered Laplace-perturbed scalars.
+  double estimate = 0.0;
+  double true_sum = 0.0;
+  size_t delivered_reports = 0;
+};
+
+/// End-to-end private summation over the index-routed exchange: each user's
+/// value in [lo, hi] is Laplace-randomized into an 8-byte scalar payload
+/// (dp/ldp.h LaplaceMechanism::EmitReport), walked `rounds` exchange rounds,
+/// and summed at the curator straight from the PayloadArena slices of the
+/// delivered report ids (kAll reporting: every report arrives, so the
+/// estimate is unbiased with variance n * 2 ((hi-lo)/eps0)^2).
+NetworkSummationResult SummationOverNetwork(const Graph& g,
+                                            const std::vector<double>& values,
+                                            double lo, double hi,
+                                            double epsilon0, size_t rounds,
+                                            uint64_t seed);
 
 }  // namespace netshuffle
 

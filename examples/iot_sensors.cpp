@@ -34,25 +34,28 @@ int main(int argc, char** argv) {
 
   Graph graph = MakeTorus(side, side);
 
-  // Sensor readings in [0, 40] degrees; Laplace-randomized locally.
+  // Sensor readings in [0, 40] degrees; Laplace-randomized locally into
+  // 8-byte scalar payloads the exchange routes by id.
   Rng rng(31);
   LaplaceMechanism lap(0.0, 40.0, epsilon0);
-  std::vector<double> readings(n), randomized(n);
+  PayloadArena payloads;
+  payloads.Reserve(n, n * lap.payload_size());
   double true_mean = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    readings[i] = 15.0 + 10.0 * rng.UniformDouble();
-    true_mean += readings[i];
-    randomized[i] = lap.Randomize(readings[i], &rng);
+    const double reading = 15.0 + 10.0 * rng.UniformDouble();
+    true_mean += reading;
+    lap.EmitReport(static_cast<NodeId>(i), reading, &rng, &payloads);
   }
   true_mean /= static_cast<double>(n);
 
-  // One session owns the whole pipeline: graph, mechanism, fault model, and
-  // metrics.  Rounds are set after probing the mixing time below.
+  // One session owns the whole pipeline: graph, mechanism, payloads, fault
+  // model, and metrics.  Rounds are set after probing the mixing time below.
   LazyFaultModel faults(laziness);
   ShuffleMetrics metrics(n);
   SessionConfig config;
   config.SetGraph(std::move(graph))
       .SetMechanism(lap)
+      .SetPayloads(std::move(payloads))
       .SetProtocol(ReportingProtocol::kAll)
       .SetSeed(77)
       .SetFaults(&faults)
@@ -73,9 +76,11 @@ int main(int argc, char** argv) {
   session.Step(rounds);
   const auto delivered = session.Finalize();
 
+  // Curator-side aggregation straight from the arena slices the delivered
+  // report ids index into.
   double est = 0.0;
   for (const auto& fr : delivered.server_inbox) {
-    est += randomized[fr.report.payload];
+    est += delivered.payloads->ScalarAt(fr.id);
   }
   est /= static_cast<double>(delivered.server_inbox.size());
 

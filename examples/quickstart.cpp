@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
 
   size_t moved = 0;
   for (const auto& fr : server.inbox()) {
-    moved += (fr.final_holder != fr.report.origin);
+    moved += (fr.final_holder != fr.origin);
   }
   if (server.num_received() > 0) {
     std::printf("reports that moved      : %.1f%% (final holder != origin)\n",

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -42,13 +43,16 @@ int main(int argc, char** argv) {
     ++truth[answers[i]];
   }
 
-  // Local randomization with k-ary randomized response; the same mechanism
-  // object plugs into the accounting session below.
+  // Local randomization with k-ary randomized response into 4-byte bucket
+  // payloads in a write-once arena; the same mechanism object plugs into
+  // the accounting session below.
   KRandomizedResponse rr(kCategories, epsilon0);
-  std::vector<Bytes> payloads(n);
+  PayloadArena payloads;
+  payloads.Reserve(n, n * rr.payload_size());
   for (size_t i = 0; i < n; ++i) {
-    payloads[i] = Bytes{static_cast<uint8_t>(rr.Randomize(answers[i], &rng))};
+    rr.EmitReport(static_cast<NodeId>(i), answers[i], &rng, &payloads);
   }
+  payloads.Freeze();
 
   // Privacy accounting: validate the graph + budgets into a Session once;
   // its mixing time is the relay round count.
@@ -71,9 +75,14 @@ int main(int argc, char** argv) {
   pki.RegisterServer();
   auto session = RunSecureRelaySession(ds.graph, &pki, payloads, rounds, 321);
 
-  // Server-side decryption happened inside the session; debias counts.
+  // Server-side decryption happened inside the session; decode the 4-byte
+  // buckets and debias the counts.
   std::vector<uint64_t> observed(kCategories, 0);
-  for (const Bytes& b : session.delivered_payloads) ++observed[b[0]];
+  for (const Bytes& b : session.delivered_payloads) {
+    uint32_t bucket = 0;
+    std::memcpy(&bucket, b.data(), sizeof(uint32_t));
+    if (bucket < kCategories) ++observed[bucket];
+  }
   const auto estimate = rr.DebiasCounts(observed, n);
 
   const auto central = accounting.TargetGuarantee();

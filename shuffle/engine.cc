@@ -52,8 +52,64 @@ ExchangeResult StartExchange(const Graph& g, ShuffleMetrics* metrics) {
   const size_t n = g.num_nodes();
   ExchangeResult result;
   result.holdings.InitOnePerUser(n);
+  result.payloads =
+      std::make_shared<const PayloadArena>(PayloadArena::Identity(n));
   if (metrics != nullptr) {
     for (NodeId u = 0; u < n; ++u) metrics->ObserveUserHoldings(u, 1);
+  }
+  return result;
+}
+
+ExchangeResult StartExchange(const Graph& g, PayloadArena payloads,
+                             ShuffleMetrics* metrics) {
+  const size_t n = g.num_nodes();
+  if (payloads.num_reports() != n) {
+    NETSHUFFLE_FATAL("StartExchange: arena holds " +
+                     std::to_string(payloads.num_reports()) +
+                     " reports for " + std::to_string(n) +
+                     " users (the protocol injects exactly one per user)");
+  }
+  payloads.Freeze();
+
+  ExchangeResult result;
+  ReportStore& store = result.holdings;
+  store.AllocateFor(n, n);
+  // Counting-sort injection: holdings[u] = ids with origin u, ascending.
+  uint32_t* offsets = store.mutable_offsets();
+  std::fill(offsets, offsets + n + 1, 0u);
+  for (ReportId r = 0; r < static_cast<ReportId>(n); ++r) {
+    const NodeId o = payloads.origin(r);
+    if (static_cast<size_t>(o) >= n) {
+      NETSHUFFLE_FATAL("StartExchange: report " + std::to_string(r) +
+                       " has origin " + std::to_string(o) + " outside the " +
+                       std::to_string(n) + "-user population");
+    }
+    ++offsets[o + 1];
+  }
+  for (size_t u = 0; u < n; ++u) {
+    if (offsets[u + 1] != 1) {
+      // With exactly n reports, any user injecting more than one implies
+      // another injects none — a double eps0 spend the accountants cannot
+      // see (Session::Validate reports the same condition as a typed
+      // kPayloadMismatch first).
+      NETSHUFFLE_FATAL("StartExchange: origin " + std::to_string(u) +
+                       " injects " + std::to_string(offsets[u + 1]) +
+                       " reports; the protocol is one report per user");
+    }
+    offsets[u + 1] += offsets[u];
+  }
+  std::vector<uint32_t> cursor(offsets, offsets + n);
+  ReportId* arena = store.mutable_arena();
+  for (ReportId r = 0; r < static_cast<ReportId>(n); ++r) {
+    arena[cursor[payloads.origin(r)]++] = r;
+  }
+
+  result.payloads =
+      std::make_shared<const PayloadArena>(std::move(payloads));
+  if (metrics != nullptr) {
+    for (NodeId u = 0; u < n; ++u) {
+      metrics->ObserveUserHoldings(u, store.count(u));
+    }
   }
   return result;
 }
@@ -109,7 +165,7 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
     // exactly the coins the one-shot schedule would.
     const size_t round = options.first_round + step;
     const uint32_t* offsets = store.offsets_data();
-    const Report* arena = store.arena_data();
+    const ReportId* arena = store.arena_data();
 
     // Hop phase: each source shard draws a destination per held report and
     // counts its per-destination load.
@@ -165,9 +221,11 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
     next_offsets[n] = run;  // == total: reports are conserved
 
     // Scatter phase: each source shard walks its arena range in order and
-    // places reports at its pre-assigned cursors.  Writes are disjoint by
-    // construction, and slot order reproduces the serial schedule exactly.
-    Report* next_arena = next.mutable_arena();
+    // places report ids at its pre-assigned cursors — 4 bytes per report,
+    // the whole point of index routing (DESIGN.md §4d).  Writes are
+    // disjoint by construction, and slot order reproduces the serial
+    // schedule exactly.
+    ReportId* next_arena = next.mutable_arena();
     GlobalPool().RunChunks(shards, [&](size_t c) {
       uint32_t* cursor = counts.data() + c * n;
       const uint32_t begin = offsets[bounds[c]], end = offsets[bounds[c + 1]];
@@ -201,7 +259,9 @@ ProtocolResult FinalizeProtocol(const ExchangeResult& exchange,
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
   ProtocolResult out;
   out.rounds = exchange.rounds;
+  out.payloads = exchange.payloads;
   const ReportStore& store = exchange.holdings;
+  const PayloadArena& arena = *exchange.payloads;
   out.server_inbox.reserve(store.num_users());
 
   for (NodeId u = 0; u < store.num_users(); ++u) {
@@ -211,12 +271,12 @@ ProtocolResult FinalizeProtocol(const ExchangeResult& exchange,
       continue;
     }
     if (protocol == ReportingProtocol::kAll) {
-      for (const Report& r : held) {
-        out.server_inbox.push_back(FinalReport{r, u});
+      for (const ReportId id : held) {
+        out.server_inbox.push_back(FinalReport{id, arena.origin(id), u});
       }
     } else {
-      const size_t pick = rng.UniformInt(held.size());
-      out.server_inbox.push_back(FinalReport{held[pick], u});
+      const ReportId id = held[rng.UniformInt(held.size())];
+      out.server_inbox.push_back(FinalReport{id, arena.origin(id), u});
       out.dropped_reports += held.size() - 1;
     }
   }

@@ -7,11 +7,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/status.h"
 #include "graph/graph.h"
 #include "shuffle/fault.h"
+#include "shuffle/payload.h"
 #include "shuffle/protocol.h"
 #include "shuffle/store.h"
 
@@ -72,10 +74,15 @@ struct ExchangeOptions {
 };
 
 struct ExchangeResult {
-  /// Flat report store: user u's holdings after the last round are the
-  /// contiguous slice holdings.reports(u) (see shuffle/store.h).  Reports
-  /// are conserved, so holdings.num_reports() == n for the whole run.
+  /// Flat routing store: user u's holdings after the last round are the
+  /// contiguous ReportId slice holdings.reports(u) (see shuffle/store.h).
+  /// Reports are conserved, so holdings.num_reports() == n for the whole
+  /// run.
   ReportStore holdings;
+  /// The immutable origin/payload columns the routed ids index into
+  /// (shuffle/payload.h), frozen at injection and shared with every
+  /// ProtocolResult finalized from this state.
+  std::shared_ptr<const PayloadArena> payloads;
   /// Total rounds this state has been advanced (across resumed chunks).
   size_t rounds = 0;
 };
@@ -86,10 +93,20 @@ struct ExchangeResult {
 /// that was never delivered).
 Status ValidateExchangeOptions(const ExchangeOptions& options);
 
-/// Injects one report per user (holdings[u] = {u's report}) and records the
-/// initial metrics observation — round 0 of an exchange.  Advance the
+/// Injects one report per user (holdings[u] = {u's report id}) over an
+/// identity PayloadArena (origin(r) == r, zero payload bytes) and records
+/// the initial metrics observation — round 0 of an exchange.  Advance the
 /// returned state with ResumeExchange.
 ExchangeResult StartExchange(const Graph& g, ShuffleMetrics* metrics = nullptr);
+
+/// Injection over an explicit payload arena: freezes it, then hands each
+/// report id to its origin (holdings[u] = ids with origin(id) == u, in
+/// ascending id order).  The protocol injects exactly one report per user,
+/// so the arena must hold g.num_nodes() reports with every origin in range
+/// — fatal otherwise (Session::Validate surfaces the same condition as a
+/// typed kPayloadMismatch first).
+ExchangeResult StartExchange(const Graph& g, PayloadArena payloads,
+                             ShuffleMetrics* metrics = nullptr);
 
 /// Advances `prior` (from StartExchange or a previous call) by
 /// options.rounds further rounds.  options.first_round must equal

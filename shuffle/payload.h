@@ -1,0 +1,200 @@
+// Write-once columnar payload storage for the exchange (DESIGN.md §4d).
+//
+// The exchange is pure routing: a random walk permutes who HOLDS each
+// report, but the report contents never change after local randomization.
+// So the hot path routes only 4-byte ReportIds (shuffle/store.h), and the
+// immutable per-report data — origin plus variable-length payload bytes —
+// lives here, columnar and CSR-style: one origins column, one uint32 byte-
+// offset column, one contiguous byte buffer.  Populated once at injection
+// (Append* then Freeze), read back only at finalize / curator-side
+// aggregation.
+
+#ifndef NETSHUFFLE_SHUFFLE_PAYLOAD_H_
+#define NETSHUFFLE_SHUFFLE_PAYLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "shuffle/protocol.h"
+
+namespace netshuffle {
+
+/// Read-only view of one report's payload bytes.
+class PayloadSpan {
+ public:
+  PayloadSpan(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const uint8_t* begin() const { return data_; }
+  const uint8_t* end() const { return data_ + size_; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  Bytes ToBytes() const { return Bytes(data_, data_ + size_); }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+class PayloadArena {
+ public:
+  PayloadArena() { offsets_.push_back(0); }
+
+  /// Identity arena for payload-free exchanges: one report per user,
+  /// origin(r) == r, zero payload bytes.  Already frozen.
+  static PayloadArena Identity(size_t n) {
+    PayloadArena arena;
+    arena.origins_.resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      arena.origins_[r] = static_cast<NodeId>(r);
+    }
+    arena.offsets_.assign(n + 1, 0);
+    arena.frozen_ = true;
+    return arena;
+  }
+
+  /// Optional pre-sizing for bulk injection.
+  void Reserve(size_t reports, size_t total_bytes) {
+    origins_.reserve(reports);
+    offsets_.reserve(reports + 1);
+    bytes_.reserve(total_bytes);
+  }
+
+  /// Appends one report's immutable (origin, payload bytes) row; returns its
+  /// ReportId.  Fatal after Freeze() (the arena is write-once) and on offset
+  /// overflow (payload bytes must fit the uint32 offset column).
+  ReportId Append(NodeId origin, const uint8_t* data, size_t size) {
+    RequireMutable("Append");
+    const ReportId id = CheckedNarrow32(origins_.size(), "report count");
+    origins_.push_back(origin);
+    bytes_.insert(bytes_.end(), data, data + size);
+    offsets_.push_back(CheckedNarrow32(bytes_.size(), "total payload bytes"));
+    return id;
+  }
+  ReportId Append(NodeId origin, const Bytes& payload) {
+    return Append(origin, payload.data(), payload.size());
+  }
+
+  // ---- Typed appends (the dp/mechanism.h payload kinds) --------------------
+
+  /// 8-byte host-order double (Laplace scalars).
+  ReportId AppendScalar(NodeId origin, double value) {
+    uint8_t buf[sizeof(double)];
+    std::memcpy(buf, &value, sizeof(double));
+    return Append(origin, buf, sizeof(buf));
+  }
+
+  /// 4-byte host-order uint32 (k-RR histogram buckets).
+  ReportId AppendBucket(NodeId origin, uint32_t bucket) {
+    uint8_t buf[sizeof(uint32_t)];
+    std::memcpy(buf, &bucket, sizeof(uint32_t));
+    return Append(origin, buf, sizeof(buf));
+  }
+
+  /// d consecutive host-order doubles (PrivUnit d-dim vectors).
+  ReportId AppendVector(NodeId origin, const std::vector<double>& v) {
+    return Append(origin, reinterpret_cast<const uint8_t*>(v.data()),
+                  v.size() * sizeof(double));
+  }
+
+  /// Seals the arena: further appends are fatal.  Injection
+  /// (StartExchange) freezes unconditionally, so the routed ids always
+  /// reference immutable rows.
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  // ---- Read side -----------------------------------------------------------
+
+  size_t num_reports() const { return origins_.size(); }
+  size_t total_payload_bytes() const { return bytes_.size(); }
+
+  NodeId origin(ReportId r) const {
+    BoundsCheck(r, "origin");
+    return origins_[r];
+  }
+  PayloadSpan payload(ReportId r) const {
+    BoundsCheck(r, "payload");
+    return PayloadSpan(bytes_.data() + offsets_[r],
+                       offsets_[r + 1] - offsets_[r]);
+  }
+  size_t payload_size(ReportId r) const {
+    BoundsCheck(r, "payload_size");
+    return offsets_[r + 1] - offsets_[r];
+  }
+
+  // ---- Typed decodes (size-checked, fatal on kind mismatch) ----------------
+
+  double ScalarAt(ReportId r) const {
+    const PayloadSpan s = Checked(r, sizeof(double), "ScalarAt");
+    double value;
+    std::memcpy(&value, s.data(), sizeof(double));
+    return value;
+  }
+
+  uint32_t BucketAt(ReportId r) const {
+    const PayloadSpan s = Checked(r, sizeof(uint32_t), "BucketAt");
+    uint32_t bucket;
+    std::memcpy(&bucket, s.data(), sizeof(uint32_t));
+    return bucket;
+  }
+
+  std::vector<double> VectorAt(ReportId r) const {
+    const PayloadSpan s = payload(r);
+    if (s.size() % sizeof(double) != 0) {
+      NETSHUFFLE_FATAL("VectorAt(" + std::to_string(r) + "): payload is " +
+                       std::to_string(s.size()) +
+                       " bytes, not a whole number of doubles");
+    }
+    std::vector<double> v(s.size() / sizeof(double));
+    std::memcpy(v.data(), s.data(), s.size());
+    return v;
+  }
+
+  /// Heap footprint: 4 B origin + 4 B offset + payload bytes per report,
+  /// allocated once and never touched by the per-round routing passes.
+  size_t MemoryBytes() const {
+    return origins_.capacity() * sizeof(NodeId) +
+           offsets_.capacity() * sizeof(uint32_t) + bytes_.capacity();
+  }
+
+ private:
+  void RequireMutable(const char* op) const {
+    if (frozen_) {
+      NETSHUFFLE_FATAL(std::string("PayloadArena::") + op +
+                       " after Freeze(): the arena is write-once; routed "
+                       "ids must reference immutable rows");
+    }
+  }
+  void BoundsCheck(ReportId r, const char* op) const {
+    if (static_cast<size_t>(r) >= origins_.size()) {
+      NETSHUFFLE_FATAL(std::string("PayloadArena::") + op + "(" +
+                       std::to_string(r) + "): arena holds " +
+                       std::to_string(origins_.size()) + " reports");
+    }
+  }
+  PayloadSpan Checked(ReportId r, size_t expected, const char* op) const {
+    const PayloadSpan s = payload(r);
+    if (s.size() != expected) {
+      NETSHUFFLE_FATAL(std::string("PayloadArena::") + op + "(" +
+                       std::to_string(r) + "): payload is " +
+                       std::to_string(s.size()) + " bytes, expected " +
+                       std::to_string(expected));
+    }
+    return s;
+  }
+
+  std::vector<NodeId> origins_;    // origins_[r]: who injected report r
+  std::vector<uint32_t> offsets_;  // num_reports() + 1 byte offsets
+  std::vector<uint8_t> bytes_;     // one contiguous payload buffer
+  bool frozen_ = false;
+};
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_SHUFFLE_PAYLOAD_H_

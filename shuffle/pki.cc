@@ -1,5 +1,8 @@
 #include "shuffle/pki.h"
 
+#include <string>
+
+#include "core/status.h"
 #include "util/rng.h"
 
 namespace netshuffle {
@@ -27,10 +30,39 @@ Bytes XorStream(const Bytes& data, uint64_t key, uint64_t nonce) {
   return out;
 }
 
-SecureRelayResult RunSecureRelaySession(const Graph& g, Pki* pki,
-                                        const std::vector<Bytes>& payloads,
-                                        size_t rounds, uint64_t seed) {
+namespace {
+
+// Shared relay core: message i (any byte length) enters the walk at
+// first_holder(i) carrying bytes(i).  The two overloads below only differ
+// in where the plaintexts and first holders come from.
+template <typename FirstHolderFn, typename BytesFn>
+SecureRelayResult RelaySession(const Graph& g, Pki* pki, size_t count,
+                               FirstHolderFn first_holder, BytesFn bytes,
+                               size_t rounds, uint64_t seed) {
   const size_t n = g.num_nodes();
+  // An unregistered key set or an out-of-range first holder would index
+  // user_keys_ / held out of bounds and silently corrupt the relay; fail
+  // loudly instead (the analogous exchange path, StartExchange, does too).
+  if (pki->num_users() < n || !pki->server_registered()) {
+    NETSHUFFLE_FATAL("RunSecureRelaySession: PKI has keys for " +
+                     std::to_string(pki->num_users()) + " of " +
+                     std::to_string(n) + " users (server registered: " +
+                     (pki->server_registered() ? "yes" : "no") +
+                     "); call RegisterUsers(n) and RegisterServer() first");
+  }
+  if (count != n) {
+    NETSHUFFLE_FATAL("RunSecureRelaySession: " + std::to_string(count) +
+                     " payloads for " + std::to_string(n) +
+                     " users (the relay carries exactly one per user)");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (static_cast<size_t>(first_holder(i)) >= n) {
+      NETSHUFFLE_FATAL("RunSecureRelaySession: payload " + std::to_string(i) +
+                       " starts at holder " +
+                       std::to_string(first_holder(i)) + " outside the " +
+                       std::to_string(n) + "-user population");
+    }
+  }
   Rng rng(seed);
   SecureRelayResult result;
 
@@ -39,14 +71,15 @@ SecureRelayResult RunSecureRelaySession(const Graph& g, Pki* pki,
     Bytes c1;        // payload under the server key
   };
 
-  // Each user builds c1 and hands it (under the holder's outer layer, which
-  // we apply and strip per hop) to itself as the first holder.
+  // Each message's source builds c1 and hands it (under the holder's outer
+  // layer, which we apply and strip per hop) to the first holder.
   std::vector<std::vector<Ciphertext>> held(n);
-  for (NodeId u = 0; u < n; ++u) {
+  for (size_t i = 0; i < count; ++i) {
+    const NodeId u = first_holder(i);
     Ciphertext ct;
     ct.nonce = rng.Next();
-    ct.c1 = XorStream(payloads[u], pki->ServerKey(), ct.nonce);
-    // Outer layer for the first holder (u itself).
+    ct.c1 = XorStream(bytes(i), pki->ServerKey(), ct.nonce);
+    // Outer layer for the first holder.
     ct.c1 = XorStream(ct.c1, pki->UserKey(u), ct.nonce);
     held[u].push_back(std::move(ct));
   }
@@ -81,6 +114,29 @@ SecureRelayResult RunSecureRelaySession(const Graph& g, Pki* pki,
     }
   }
   return result;
+}
+
+}  // namespace
+
+SecureRelayResult RunSecureRelaySession(const Graph& g, Pki* pki,
+                                        const std::vector<Bytes>& payloads,
+                                        size_t rounds, uint64_t seed) {
+  return RelaySession(
+      g, pki, payloads.size(),
+      [](size_t i) { return static_cast<NodeId>(i); },
+      [&](size_t i) -> const Bytes& { return payloads[i]; }, rounds, seed);
+}
+
+SecureRelayResult RunSecureRelaySession(const Graph& g, Pki* pki,
+                                        const PayloadArena& payloads,
+                                        size_t rounds, uint64_t seed) {
+  return RelaySession(
+      g, pki, payloads.num_reports(),
+      [&](size_t i) { return payloads.origin(static_cast<ReportId>(i)); },
+      [&](size_t i) {
+        return payloads.payload(static_cast<ReportId>(i)).ToBytes();
+      },
+      rounds, seed);
 }
 
 }  // namespace netshuffle

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "shuffle/payload.h"
 #include "shuffle/protocol.h"
 
 namespace netshuffle {
@@ -53,10 +54,20 @@ struct SecureRelayResult {
 
 /// Runs one full secure-relay session: onion-wrap every payload, walk the
 /// ciphertexts `rounds` hops (re-wrapping the outer layer per hop), submit to
-/// the server, and decrypt there.  Requires pki->RegisterUsers(n) for
-/// n == g.num_nodes() and RegisterServer() beforehand.
+/// the server, and decrypt there.  Payloads may be any length, including
+/// different lengths per user (the XOR keystream is length-preserving).
+/// Requires pki->RegisterUsers(n) for n == g.num_nodes() and
+/// RegisterServer() beforehand.  payloads[u] starts at holder u.
 SecureRelayResult RunSecureRelaySession(const Graph& g, Pki* pki,
                                         const std::vector<Bytes>& payloads,
+                                        size_t rounds, uint64_t seed);
+
+/// Arena overload: relays every report's payload slice, starting at its
+/// origin — the curator-bound leg of an index-routed exchange
+/// (shuffle/payload.h).  The arena must hold g.num_nodes() reports with
+/// in-range origins.
+SecureRelayResult RunSecureRelaySession(const Graph& g, Pki* pki,
+                                        const PayloadArena& payloads,
                                         size_t rounds, uint64_t seed);
 
 }  // namespace netshuffle

@@ -60,7 +60,7 @@ class Server {
 
  private:
   void Observe(const FinalReport& fr) {
-    const size_t o = static_cast<size_t>(fr.report.origin);
+    const size_t o = static_cast<size_t>(fr.origin);
     if (o >= expected_users_) {
       ++invalid_origin_count_;
       return;

@@ -1,7 +1,9 @@
-// Flat double-buffer-able report storage for the exchange engine: one
-// contiguous Report arena plus CSR-style per-user offsets, replacing the
-// per-user heap vectors that thrashed the allocator and cache long before
-// n = 10^6 (DESIGN.md "Flat exchange memory layout").
+// Flat double-buffer-able routing storage for the exchange engine: one
+// contiguous ReportId arena plus CSR-style per-user offsets (DESIGN.md §4c,
+// §4d).  Since the index-routing refactor the store holds 4-byte report
+// HANDLES only — a report's immutable origin and payload bytes live in the
+// columnar PayloadArena (shuffle/payload.h), so a routing round moves 4
+// bytes per report instead of a full report struct.
 //
 // Invariant: user u's holdings are the contiguous slice
 // arena[offsets[u] .. offsets[u+1]), in the engine's canonical order
@@ -15,42 +17,46 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "core/status.h"
 #include "graph/graph.h"
 #include "shuffle/protocol.h"
 
 namespace netshuffle {
 
-/// Read-only view of one user's contiguous holdings slice.
+/// Read-only view of one user's contiguous holdings slice (report ids).
 class ReportSpan {
  public:
-  ReportSpan(const Report* begin, const Report* end)
+  ReportSpan(const ReportId* begin, const ReportId* end)
       : begin_(begin), end_(end) {}
 
-  const Report* begin() const { return begin_; }
-  const Report* end() const { return end_; }
+  const ReportId* begin() const { return begin_; }
+  const ReportId* end() const { return end_; }
   size_t size() const { return static_cast<size_t>(end_ - begin_); }
   bool empty() const { return begin_ == end_; }
-  const Report& operator[](size_t i) const { return begin_[i]; }
+  ReportId operator[](size_t i) const { return begin_[i]; }
 
  private:
-  const Report* begin_;
-  const Report* end_;
+  const ReportId* begin_;
+  const ReportId* end_;
 };
 
 class ReportStore {
  public:
   ReportStore() = default;
 
-  /// Injection state: user u holds exactly {Report{u, u}} (round 0 of an
-  /// exchange).  Offsets are the identity CSR.
+  /// Identity injection state: user u holds exactly {report id u} (round 0
+  /// of an exchange over an identity PayloadArena).  Offsets are the
+  /// identity CSR.
   void InitOnePerUser(size_t n) {
+    CheckedNarrow32(n, "ReportStore user count");
     arena_.resize(n);
     offsets_.resize(n + 1);
     for (size_t u = 0; u < n; ++u) {
-      arena_[u] = Report{static_cast<NodeId>(u), static_cast<uint64_t>(u)};
+      arena_[u] = static_cast<ReportId>(u);
       offsets_[u] = static_cast<uint32_t>(u);
     }
     offsets_[n] = static_cast<uint32_t>(n);
@@ -59,6 +65,7 @@ class ReportStore {
   /// Sizes the buffers without initializing contents — the double-buffer
   /// partner the engine scatters into before swapping.
   void AllocateFor(size_t users, size_t reports) {
+    CheckedNarrow32(reports, "ReportStore report count");
     arena_.resize(reports);
     offsets_.resize(users + 1);
   }
@@ -70,18 +77,22 @@ class ReportStore {
   /// exchange).
   size_t num_reports() const { return arena_.size(); }
 
-  size_t count(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+  size_t count(NodeId u) const {
+    BoundsCheck(u, "count");
+    return offsets_[u + 1] - offsets_[u];
+  }
   ReportSpan reports(NodeId u) const {
+    BoundsCheck(u, "reports");
     return ReportSpan(arena_.data() + offsets_[u],
                       arena_.data() + offsets_[u + 1]);
   }
 
   /// Flat access for the routing pass and benches.  offsets_data() has
   /// num_users() + 1 entries; uint32 suffices because report counts are
-  /// bounded by the NodeId population.
-  const Report* arena_data() const { return arena_.data(); }
+  /// bounded by the NodeId population (guarded by CheckedNarrow32 above).
+  const ReportId* arena_data() const { return arena_.data(); }
   const uint32_t* offsets_data() const { return offsets_.data(); }
-  Report* mutable_arena() { return arena_.data(); }
+  ReportId* mutable_arena() { return arena_.data(); }
   uint32_t* mutable_offsets() { return offsets_.data(); }
 
   /// O(1) buffer exchange — one round's double-buffer flip.
@@ -91,15 +102,27 @@ class ReportStore {
   }
 
   /// Heap footprint of this buffer (the 10^6-node smoke test pins this to
-  /// ~20 bytes/user; the engine's transient peak is two buffers plus its
+  /// ~8 bytes/user; the engine's transient peak is two buffers plus its
   /// routing tables).
   size_t MemoryBytes() const {
-    return arena_.capacity() * sizeof(Report) +
+    return arena_.capacity() * sizeof(ReportId) +
            offsets_.capacity() * sizeof(uint32_t);
   }
 
  private:
-  std::vector<Report> arena_;
+  // An out-of-range NodeId would read a garbage slice (or past the offsets
+  // column) and silently mis-route; fail loudly instead.  The check is one
+  // compare — the engine's hot loops go through the flat *_data() accessors,
+  // not these per-user conveniences.
+  void BoundsCheck(NodeId u, const char* op) const {
+    if (static_cast<size_t>(u) + 1 >= offsets_.size()) {
+      NETSHUFFLE_FATAL(std::string("ReportStore::") + op + "(" +
+                       std::to_string(u) + "): store has " +
+                       std::to_string(num_users()) + " users");
+    }
+  }
+
+  std::vector<ReportId> arena_;
   std::vector<uint32_t> offsets_;  // num_users() + 1 entries
 };
 

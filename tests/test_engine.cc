@@ -27,10 +27,11 @@ int main() {
   std::vector<bool> seen(n, false);
   CHECK(ex.holdings.num_users() == n);
   for (NodeId u = 0; u < n; ++u) {
-    for (const Report& r : ex.holdings.reports(u)) {
+    for (const ReportId id : ex.holdings.reports(u)) {
       ++total;
-      CHECK(!seen[r.origin]);
-      seen[r.origin] = true;
+      const NodeId origin = ex.payloads->origin(id);
+      CHECK(!seen[origin]);
+      seen[origin] = true;
     }
   }
   CHECK(total == n);
@@ -51,8 +52,9 @@ int main() {
     const ProtocolResult fin = FinalizeProtocol(ex, protocol, 1);
     std::vector<bool> delivered(n, false);
     for (const FinalReport& fr : fin.server_inbox) {
-      CHECK(!delivered[fr.report.origin]);  // no duplication, ever
-      delivered[fr.report.origin] = true;
+      CHECK(!delivered[fr.origin]);  // no duplication, ever
+      CHECK(fin.payloads->origin(fr.id) == fr.origin);  // denormalization
+      delivered[fr.origin] = true;
     }
     CHECK(fin.server_inbox.size() + fin.dropped_reports == n);
     size_t holders = 0;
@@ -77,7 +79,7 @@ int main() {
   // After 20 rounds on an expander nearly every report moved.
   size_t moved = 0;
   for (const auto& fr : server.inbox()) {
-    moved += fr.final_holder != fr.report.origin;
+    moved += fr.final_holder != fr.origin;
   }
   CHECK(moved > n / 2);
 

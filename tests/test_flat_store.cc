@@ -1,21 +1,28 @@
-// The flat double-buffered report store (shuffle/store.h) and its
-// counting-sort routing pass must be BIT-IDENTICAL to the legacy
-// vector-of-vectors engine: same per-(seed, round, user) RNG streams, same
-// canonical ascending-sender order inside every destination's slice.  A
-// serial reference implementation of the legacy schedule lives in this test
-// and is compared element-by-element against RunExchange at NS_THREADS 1
-// and 4 (and a resumed Start/Resume split), with and without faults.
+// The index-routed exchange (shuffle/store.h ReportId arena + counting-sort
+// routing over a columnar shuffle/payload.h PayloadArena) must be
+// ELEMENT-IDENTICAL to the legacy engine that physically scattered full
+// report structs: same per-(seed, round, user) RNG streams, same canonical
+// ascending-sender order inside every destination's slice, and — after
+// mapping each routed id through the arena — the same (origin, payload
+// bytes, holder) triples.  A serial reference implementation of the legacy
+// schedule (routing whole structs with variable-length payload bytes) lives
+// in this test and is compared element-by-element against the id-routed
+// engine at NS_THREADS 1 and 4 (and a resumed Start/Resume split), with and
+// without faults.
 //
 // Also: ReportStore unit checks, and an NS_SCALE-gated 10^6-node smoke test
-// pinning the arena's per-buffer memory bound (~20 bytes/user).
+// pinning the routing buffers' per-user memory bound (~8 bytes/user since
+// ids replaced 16-byte structs).
 
 #include <cstdlib>
+#include <utility>
 #include <vector>
 
 #include "bench/experiment_common.h"
 #include "graph/generators.h"
 #include "shuffle/engine.h"
 #include "shuffle/fault.h"
+#include "shuffle/payload.h"
 #include "tests/test_util.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -24,20 +31,48 @@ using namespace netshuffle;
 
 namespace {
 
+// What the legacy engine physically routed: the full report, origin and
+// payload bytes together.
+struct LegacyReport {
+  NodeId origin;
+  Bytes payload;
+};
+
+// Variable-length patterned payload for user u: (u % 5) bytes, so slices
+// differ in size AND content across users (several users share a length,
+// none share bytes).
+Bytes PatternPayload(NodeId u) {
+  Bytes b;
+  for (size_t i = 0; i < u % 5; ++i) {
+    b.push_back(static_cast<uint8_t>((u * 31 + i * 7) & 0xff));
+  }
+  return b;
+}
+
+PayloadArena PatternArena(size_t n) {
+  PayloadArena arena;
+  for (NodeId u = 0; u < n; ++u) {
+    const Bytes payload = PatternPayload(u);
+    CHECK(arena.Append(u, payload) == u);
+  }
+  return arena;
+}
+
 // The legacy engine's serial schedule, verbatim: per round, users in
 // ascending order draw one stream per (seed, round, user) — the Awake coin
 // first, then one destination per held report in holding order — and every
-// destination list is appended in ascending sender order.
-std::vector<std::vector<Report>> LegacyExchange(const Graph& g, size_t rounds,
-                                                uint64_t seed,
-                                                const FaultModel* faults) {
+// destination list is appended in ascending sender order.  It routes the
+// full (origin, payload bytes) struct, exactly what the pre-index-routing
+// engine moved every round.
+std::vector<std::vector<LegacyReport>> LegacyExchange(
+    const Graph& g, size_t rounds, uint64_t seed, const FaultModel* faults) {
   const size_t n = g.num_nodes();
-  std::vector<std::vector<Report>> holdings(n);
+  std::vector<std::vector<LegacyReport>> holdings(n);
   for (NodeId u = 0; u < n; ++u) {
-    holdings[u].push_back(Report{u, u});
+    holdings[u].push_back(LegacyReport{u, PatternPayload(u)});
   }
   for (size_t round = 0; round < rounds; ++round) {
-    std::vector<std::vector<Report>> next(n);
+    std::vector<std::vector<LegacyReport>> next(n);
     for (NodeId u = 0; u < n; ++u) {
       const auto& held = holdings[u];
       if (held.empty()) continue;
@@ -46,10 +81,10 @@ std::vector<std::vector<Report>> LegacyExchange(const Graph& g, size_t rounds,
       const bool awake =
           faults == nullptr || faults->Awake(u, round, &rng);
       if (!awake || deg == 0) {
-        for (const Report& r : held) next[u].push_back(r);
+        for (const LegacyReport& r : held) next[u].push_back(r);
         continue;
       }
-      for (const Report& r : held) {
+      for (const LegacyReport& r : held) {
         const NodeId dest = g.neighbors_begin(u)[rng.UniformInt(deg)];
         next[dest].push_back(r);
       }
@@ -59,15 +94,21 @@ std::vector<std::vector<Report>> LegacyExchange(const Graph& g, size_t rounds,
   return holdings;
 }
 
-void CheckBitIdentical(const ReportStore& flat,
-                       const std::vector<std::vector<Report>>& legacy) {
+// Maps every routed id through the arena and compares (origin, payload
+// bytes) element-by-element per holder against the legacy schedule.
+void CheckElementIdentical(const ExchangeResult& ex,
+                           const std::vector<std::vector<LegacyReport>>&
+                               legacy) {
+  const ReportStore& flat = ex.holdings;
+  const PayloadArena& arena = *ex.payloads;
   CHECK(flat.num_users() == legacy.size());
   for (NodeId u = 0; u < legacy.size(); ++u) {
     const ReportSpan span = flat.reports(u);
     CHECK(span.size() == legacy[u].size());
     for (size_t i = 0; i < span.size(); ++i) {
-      CHECK(span[i].origin == legacy[u][i].origin);
-      CHECK(span[i].payload == legacy[u][i].payload);
+      const ReportId id = span[i];
+      CHECK(arena.origin(id) == legacy[u][i].origin);
+      CHECK(arena.payload(id).ToBytes() == legacy[u][i].payload);
     }
   }
 }
@@ -81,10 +122,12 @@ void CheckEquivalence(const Graph& g, size_t rounds, uint64_t seed,
     opts.rounds = rounds;
     opts.seed = seed;
     opts.faults = faults;
-    CheckBitIdentical(RunExchange(g, opts).holdings, legacy);
+    ExchangeResult whole = ResumeExchange(
+        g, StartExchange(g, PatternArena(g.num_nodes())), opts);
+    CheckElementIdentical(whole, legacy);
 
     // A resumed split must replay the identical coin schedule.
-    ExchangeResult split = StartExchange(g);
+    ExchangeResult split = StartExchange(g, PatternArena(g.num_nodes()));
     ExchangeOptions first = opts;
     first.rounds = rounds / 2 + 1;
     split = ResumeExchange(g, std::move(split), first);
@@ -92,7 +135,7 @@ void CheckEquivalence(const Graph& g, size_t rounds, uint64_t seed,
     rest.rounds = rounds - first.rounds;
     rest.first_round = first.rounds;
     if (rest.rounds > 0) split = ResumeExchange(g, std::move(split), rest);
-    CheckBitIdentical(split.holdings, legacy);
+    CheckElementIdentical(split, legacy);
   }
   SetThreadCount(0);
 }
@@ -111,8 +154,7 @@ int main() {
     for (NodeId u = 0; u < 5; ++u) {
       CHECK(store.count(u) == 1);
       CHECK(store.reports(u).size() == 1);
-      CHECK(store.reports(u)[0].origin == u);
-      CHECK(store.reports(u)[0].payload == u);
+      CHECK(store.reports(u)[0] == u);
     }
     ReportStore other;
     other.AllocateFor(5, 5);
@@ -120,7 +162,24 @@ int main() {
     CHECK(other.num_reports() == 5 && other.count(2) == 1);
   }
 
-  // ---- Flat vs legacy bit-identity ----------------------------------------
+  // ---- Identity injection (routing-only default arena) --------------------
+  {
+    Rng rng(3);
+    const Graph g = MakeRandomRegular(200, 6, &rng);
+    ExchangeOptions opts;
+    opts.rounds = 5;
+    opts.seed = 7;
+    const ExchangeResult ex = RunExchange(g, opts);
+    CHECK(ex.payloads != nullptr);
+    CHECK(ex.payloads->num_reports() == 200);
+    CHECK(ex.payloads->total_payload_bytes() == 0);
+    for (ReportId r = 0; r < 200; ++r) {
+      CHECK(ex.payloads->origin(r) == r);
+      CHECK(ex.payloads->payload(r).empty());
+    }
+  }
+
+  // ---- Index-routed vs legacy element identity ----------------------------
   Rng rng(11);
   const Graph regular = MakeRandomRegular(400, 6, &rng);
   const Graph skewed = MakeBarabasiAlbert(300, 3, &rng);
@@ -148,10 +207,16 @@ int main() {
     ExchangeResult ex = RunExchange(big, opts);
     CHECK(ex.holdings.num_users() == n);
     CHECK(ex.holdings.num_reports() == n);  // conserved at scale
-    // The flat layout's promise: ~20 bytes/user per buffer (16 B Report +
-    // 4 B offset), not per-user heap vectors.  Allow a page of slack.
+    // The index-routing promise: ~8 bytes/user per routing buffer (4 B
+    // ReportId + 4 B offset) — the 16-byte report struct no longer rides
+    // through the scatter.  Allow a page of slack.
     CHECK(ex.holdings.MemoryBytes() <=
-          (sizeof(Report) + sizeof(uint32_t)) * n + 4096);
+          (sizeof(ReportId) + sizeof(uint32_t)) * n + 4096);
+    // The immutable columns cost ~8 bytes/user once (origin + offset; the
+    // identity arena carries zero payload bytes) and are never touched by
+    // the per-round routing passes.
+    CHECK(ex.payloads->MemoryBytes() <=
+          (sizeof(NodeId) + sizeof(uint32_t)) * n + 4096);
     size_t spot_total = 0;
     for (NodeId u = 0; u < n; ++u) spot_total += ex.holdings.count(u);
     CHECK(spot_total == n);

@@ -19,18 +19,19 @@ using namespace netshuffle;
 
 namespace {
 
-// Materializes the flat store as per-user vectors for easy comparison.
-std::vector<std::vector<Report>> Flatten(const ReportStore& store) {
-  std::vector<std::vector<Report>> out(store.num_users());
+// Materializes the flat store as per-user id vectors for easy comparison
+// (ids are total state: the payload columns are immutable and shared).
+std::vector<std::vector<ReportId>> Flatten(const ReportStore& store) {
+  std::vector<std::vector<ReportId>> out(store.num_users());
   for (NodeId u = 0; u < store.num_users(); ++u) {
-    for (const Report& r : store.reports(u)) out[u].push_back(r);
+    for (const ReportId id : store.reports(u)) out[u].push_back(id);
   }
   return out;
 }
 
 struct Snapshot {
-  std::vector<std::vector<Report>> holdings;
-  std::vector<std::vector<Report>> faulty_holdings;
+  std::vector<std::vector<ReportId>> holdings;
+  std::vector<std::vector<ReportId>> faulty_holdings;
   uint64_t max_traffic = 0;
   double mean_traffic = 0.0;
   size_t max_memory = 0;
@@ -83,17 +84,10 @@ Snapshot RunAll(const Graph& g, size_t threads) {
 void CheckIdentical(const Snapshot& a, const Snapshot& b) {
   CHECK(a.holdings.size() == b.holdings.size());
   for (size_t u = 0; u < a.holdings.size(); ++u) {
-    CHECK(a.holdings[u].size() == b.holdings[u].size());
-    for (size_t i = 0; i < a.holdings[u].size(); ++i) {
-      CHECK(a.holdings[u][i].origin == b.holdings[u][i].origin);
-      CHECK(a.holdings[u][i].payload == b.holdings[u][i].payload);
-    }
+    CHECK(a.holdings[u] == b.holdings[u]);
   }
   for (size_t u = 0; u < a.faulty_holdings.size(); ++u) {
-    CHECK(a.faulty_holdings[u].size() == b.faulty_holdings[u].size());
-    for (size_t i = 0; i < a.faulty_holdings[u].size(); ++i) {
-      CHECK(a.faulty_holdings[u][i].origin == b.faulty_holdings[u][i].origin);
-    }
+    CHECK(a.faulty_holdings[u] == b.faulty_holdings[u]);
   }
   CHECK(a.max_traffic == b.max_traffic);
   CHECK(a.mean_traffic == b.mean_traffic);  // exact: integer-valued sums

@@ -4,9 +4,11 @@
 #include <vector>
 
 #include "graph/generators.h"
+#include "shuffle/payload.h"
 #include "tests/test_util.h"
 
 using namespace netshuffle;
+using netshuffle_test::ExpectDeath;
 
 int main() {
   // XOR stream is an involution and actually changes the data.
@@ -44,5 +46,77 @@ int main() {
   CHECK(sorted_in == sorted_out);
   // ... and the delivery order is actually shuffled.
   CHECK(session.delivered_payloads != payloads);
+
+  // ---- Arena overload: VARIABLE-LENGTH payloads through the onion path ----
+  // Slices of 0..7 bytes, unique content per user: the relay must deliver
+  // the exact multiset of byte slices (round-trip equality), proving the
+  // two-layer wrap/strip path is length-preserving and byte-exact for
+  // heterogeneous payload sizes.
+  {
+    PayloadArena arena;
+    std::vector<Bytes> slices;
+    for (NodeId u = 0; u < n; ++u) {
+      Bytes b;
+      for (size_t i = 0; i < u % 8; ++i) {
+        b.push_back(static_cast<uint8_t>((u * 37 + i * 11) & 0xff));
+      }
+      slices.push_back(b);
+      arena.Append(u, b);
+    }
+    arena.Freeze();
+
+    const auto relayed = RunSecureRelaySession(g, &pki, arena, 12, 555);
+    CHECK(relayed.delivered_payloads.size() == n);
+    auto in_sorted = slices;
+    auto out_sorted = relayed.delivered_payloads;
+    std::sort(in_sorted.begin(), in_sorted.end());
+    std::sort(out_sorted.begin(), out_sorted.end());
+    CHECK(in_sorted == out_sorted);
+
+    // Wrong-key garbling over the variable-length slices: wrap each slice
+    // under the real server key, decrypt under an independent PKI's server
+    // key — every non-empty slice must come out garbled, so the multiset of
+    // decrypted payloads cannot round-trip.
+    Pki other(9001);
+    other.RegisterUsers(static_cast<uint32_t>(n));
+    other.RegisterServer();
+    CHECK(other.ServerKey() != pki.ServerKey());
+    size_t garbled = 0, nonempty = 0;
+    std::vector<Bytes> wrong_decrypts;
+    for (ReportId r = 0; r < static_cast<ReportId>(n); ++r) {
+      const Bytes slice = arena.payload(r).ToBytes();
+      const uint64_t nonce = 1000 + r;
+      const Bytes c1 = XorStream(slice, pki.ServerKey(), nonce);
+      const Bytes dec = XorStream(c1, other.ServerKey(), nonce);
+      wrong_decrypts.push_back(dec);
+      if (slice.empty()) continue;
+      ++nonempty;
+      if (dec != slice) ++garbled;
+    }
+    CHECK(nonempty > 0);
+    CHECK(garbled == nonempty);
+    std::sort(wrong_decrypts.begin(), wrong_decrypts.end());
+    CHECK(wrong_decrypts != in_sorted);
+  }
+
+  // ---- Relay input validation (fatal, not silent corruption) --------------
+  {
+    // Payload count != n.
+    ExpectDeath([&g, &pki] {
+      (void)RunSecureRelaySession(g, &pki, std::vector<Bytes>(3), 2, 1);
+    });
+    // Out-of-range origin in an arena.
+    ExpectDeath([&g, &pki] {
+      PayloadArena bad;
+      for (NodeId u = 0; u + 1 < n; ++u) bad.Append(u, Bytes{1});
+      bad.Append(static_cast<NodeId>(n + 5), Bytes{1});
+      (void)RunSecureRelaySession(g, &pki, bad, 2, 1);
+    });
+    // Unregistered PKI.
+    ExpectDeath([&g] {
+      Pki empty(1);
+      (void)RunSecureRelaySession(g, &empty, std::vector<Bytes>(n), 2, 1);
+    });
+  }
   return 0;
 }

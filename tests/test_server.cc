@@ -14,7 +14,7 @@ using namespace netshuffle;
 namespace {
 
 FinalReport Make(NodeId origin, NodeId holder) {
-  return FinalReport{Report{origin, origin}, holder};
+  return FinalReport{/*id=*/origin, origin, holder};
 }
 
 }  // namespace

@@ -84,6 +84,47 @@ int main() {
         .AllowNonErgodic();
     CHECK(Session::Create(std::move(allowed)).ok());
 
+    // Payload arena mismatches: wrong report count, out-of-range origin,
+    // duplicated origin (a double eps0 spend the accountants cannot see).
+    {
+      PayloadArena short_arena;
+      short_arena.Append(0, Bytes{1});
+      SessionConfig short_cfg;
+      short_cfg.SetGraph(SmallExpander()).SetPayloads(std::move(short_arena));
+      CHECK(CreateError(std::move(short_cfg)) ==
+            StatusCode::kPayloadMismatch);
+
+      PayloadArena oor_arena;
+      for (NodeId u = 0; u + 1 < 500; ++u) oor_arena.Append(u, Bytes{});
+      oor_arena.Append(500, Bytes{});
+      SessionConfig oor_cfg;
+      oor_cfg.SetGraph(SmallExpander()).SetPayloads(std::move(oor_arena));
+      CHECK(CreateError(std::move(oor_cfg)) == StatusCode::kPayloadMismatch);
+
+      PayloadArena dup_arena;
+      for (NodeId u = 0; u + 1 < 500; ++u) dup_arena.Append(u, Bytes{});
+      dup_arena.Append(7, Bytes{});
+      SessionConfig dup_cfg;
+      dup_cfg.SetGraph(SmallExpander()).SetPayloads(std::move(dup_arena));
+      CHECK(CreateError(std::move(dup_cfg)) == StatusCode::kPayloadMismatch);
+
+      // A well-formed arena is accepted and rides into Finalize.
+      PayloadArena good;
+      for (NodeId u = 0; u < 500; ++u) good.AppendBucket(u, u % 3);
+      SessionConfig good_cfg;
+      good_cfg.SetGraph(SmallExpander()).SetPayloads(std::move(good));
+      Session with_payloads =
+          Session::Create(std::move(good_cfg)).value();
+      CHECK(with_payloads.payloads().num_reports() == 500);
+      CHECK(with_payloads.payloads().frozen());
+      CHECK(with_payloads.Step(3).ok());
+      const ProtocolResult fin = with_payloads.Finalize();
+      CHECK(fin.payloads != nullptr);
+      for (const FinalReport& fr : fin.server_inbox) {
+        CHECK(fin.payloads->BucketAt(fr.id) == fr.origin % 3);
+      }
+    }
+
     // Fixed rounds below the mixing floor, when enforcement is on.
     SessionConfig shallow;
     shallow.SetGraph(SmallExpander()).SetRounds(1).RequireMixedRounds();

@@ -1,16 +1,14 @@
-// End-to-end coverage of the deprecated NetworkShuffler shim: it must keep
-// the facade's one-shot semantics (now delegated to netshuffle::Session)
-// byte-for-byte, plus the estimation workloads.
-
-// The shim is [[deprecated]]; this test exercises it on purpose.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-#include "core/network_shuffler.h"
+// End-to-end pipeline coverage through the Session API (formerly the
+// deprecated NetworkShuffler shim's test — the shim is gone; Session is the
+// one entry point): quickstart acceptance numbers, config knobs, the
+// estimation workloads aggregating from curator-side PayloadArena slices,
+// and the local-vs-central summation gap.
 
 #include <cmath>
+#include <utility>
 
+#include "core/session.h"
+#include "estimation/frequency_estimation.h"
 #include "estimation/mean_estimation.h"
 #include "estimation/summation.h"
 #include "graph/generators.h"
@@ -19,17 +17,30 @@
 
 using namespace netshuffle;
 
+namespace {
+
+Session MakeSession(Graph g, ReportingProtocol protocol,
+                    size_t rounds = 0) {
+  SessionConfig config;
+  config.SetGraph(std::move(g)).SetProtocol(protocol).SetRounds(rounds);
+  Expected<Session> created = Session::Create(std::move(config));
+  CHECK(created.ok());
+  return std::move(created).value();
+}
+
+}  // namespace
+
 int main() {
   // Quickstart acceptance: n=1000, k=8, eps0=1.0 must amplify.
   {
     Rng rng(2022);
     Graph g = MakeRandomRegular(1000, 8, &rng);
-    NetworkShuffler shuffler(std::move(g), {});
-    CHECK(shuffler.spectral_gap() > 0.1);
-    CHECK(shuffler.rounds() >= 1);
-    CHECK_NEAR(shuffler.Gamma(), 1.0, 0.1);  // regular graph at mixing time
+    Session session = MakeSession(std::move(g), ReportingProtocol::kAll);
+    CHECK(session.spectral_gap() > 0.1);
+    CHECK(session.target_rounds() >= 1);
+    CHECK_NEAR(session.Gamma(), 1.0, 0.1);  // regular graph at mixing time
 
-    const PrivacyParams central = shuffler.CappedGuarantee(1.0);
+    const PrivacyParams central = session.TargetGuarantee(1.0);
     CHECK(std::isfinite(central.epsilon));
     CHECK(central.epsilon < 1.0);  // amplification factor > 1
     CHECK(central.epsilon > 0.0);
@@ -37,32 +48,29 @@ int main() {
     CHECK(central.delta < 1e-5);
 
     // Capping: at an absurd local budget the guarantee falls back to eps0.
-    const PrivacyParams capped = shuffler.CappedGuarantee(20.0);
+    const PrivacyParams capped = session.TargetGuarantee(20.0);
     CHECK_NEAR(capped.epsilon, 20.0, 1e-12);
 
     // Raw vs capped agree in the amplifying regime.
-    CHECK_NEAR(shuffler.CentralGuarantee(1.0).epsilon, central.epsilon,
-               1e-12);
+    CHECK_NEAR(session.RawGuaranteeAt(session.target_rounds(), 1.0).epsilon,
+               central.epsilon, 1e-12);
 
-    const ProtocolResult run = shuffler.Run();
+    const ProtocolResult run = session.Run();
     CHECK(run.server_inbox.size() == 1000);
+    CHECK(run.payloads != nullptr);  // arena rides along to the curator
   }
 
   // Config knobs: explicit rounds respected; kSingle wins at large eps0.
   {
     Rng rng(3);
     Graph g = MakeRandomRegular(2000, 8, &rng);
-    NetworkShufflerConfig cfg;
-    cfg.rounds = 7;
-    NetworkShuffler fixed(Graph(g), cfg);
-    CHECK(fixed.rounds() == 7);
+    Session fixed = MakeSession(Graph(g), ReportingProtocol::kAll, 7);
+    CHECK(fixed.target_rounds() == 7);
 
-    NetworkShufflerConfig single_cfg;
-    single_cfg.protocol = ReportingProtocol::kSingle;
-    NetworkShuffler all(Graph(g), {});
-    NetworkShuffler single(Graph(g), single_cfg);
-    CHECK(single.CentralGuarantee(4.0).epsilon <
-          all.CentralGuarantee(4.0).epsilon);
+    Session all = MakeSession(Graph(g), ReportingProtocol::kAll);
+    Session single = MakeSession(Graph(g), ReportingProtocol::kSingle);
+    CHECK(single.RawGuaranteeAt(single.target_rounds(), 4.0).epsilon <
+          all.RawGuaranteeAt(all.target_rounds(), 4.0).epsilon);
   }
 
   // Mean estimation: the network protocols lose utility relative to the
@@ -70,11 +78,11 @@ int main() {
   {
     Rng rng(5);
     Graph g = MakeRandomRegular(1500, 8, &rng);
-    NetworkShuffler acct(Graph(g), {});
+    Session acct = MakeSession(Graph(g), ReportingProtocol::kAll);
     MeanEstimationConfig cfg;
     cfg.dim = 32;
     cfg.epsilon0 = 2.0;
-    cfg.rounds = acct.rounds();
+    cfg.rounds = acct.target_rounds();
     cfg.seed = 17;
     cfg.protocol = ReportingProtocol::kAll;
     const auto all = RunMeanEstimation(g, cfg);
@@ -97,6 +105,51 @@ int main() {
     CHECK(std::isfinite(all.squared_error));
     CHECK(all.squared_error < single.squared_error);
     CHECK(uniform.squared_error < single.squared_error);
+  }
+
+  // Frequency estimation (k-RR bucket payloads): kAll recovers the skewed
+  // distribution within a sane L1 budget, and the delivered count accounting
+  // matches the protocol semantics.
+  {
+    Rng rng(7);
+    Graph g = MakeRandomRegular(2000, 8, &rng);
+    FrequencyEstimationConfig cfg;
+    cfg.categories = 8;
+    cfg.epsilon0 = 3.0;
+    cfg.seed = 23;
+    cfg.protocol = ReportingProtocol::kAll;
+    const auto all = RunFrequencyEstimation(g, cfg);
+    CHECK(all.genuine_reports == 2000);
+    CHECK(all.dropped_reports == 0);
+    CHECK(all.estimate.size() == 8);
+    double truth_mass = 0.0;
+    for (double f : all.true_frequency) truth_mass += f;
+    CHECK_NEAR(truth_mass, 1.0, 1e-9);
+    CHECK(std::isfinite(all.l1_error));
+    CHECK(all.l1_error < 0.2);  // eps0=3, n=2000: comfortably recoverable
+
+    cfg.protocol = ReportingProtocol::kSingle;
+    const auto single = RunFrequencyEstimation(g, cfg);
+    CHECK(single.genuine_reports + single.dummy_reports == 2000);
+    CHECK(single.dropped_reports > 0);
+    // Dummies + drops cost utility, same shape as the mean workload.
+    CHECK(all.l1_error < single.l1_error);
+  }
+
+  // Network summation over scalar payloads: unbiased-ish at kAll (every
+  // report delivered), error well under the local-model worst case.
+  {
+    Rng rng(11);
+    Graph g = MakeRandomRegular(4000, 8, &rng);
+    std::vector<double> values(4000);
+    for (double& v : values) v = rng.UniformDouble();
+    const auto net =
+        SummationOverNetwork(g, values, 0.0, 1.0, 1.0, /*rounds=*/20, 99);
+    CHECK(net.delivered_reports == 4000);
+    CHECK(net.true_sum > 1500.0 && net.true_sum < 2500.0);
+    // n * Var(Laplace(1/eps0)) = 2n: |err| < 5 sigma = 5 sqrt(8000).
+    CHECK(std::fabs(net.estimate - net.true_sum) <
+          5.0 * std::sqrt(2.0 * 4000.0));
   }
 
   // Summation: the local model pays ~sqrt(n) over central.

@@ -1,9 +1,13 @@
 // Tiny dependency-free check macros for the ctest suite.  A failed check
 // prints the expression and location and exits non-zero; main() returning 0
-// marks the test passed.
+// marks the test passed.  ExpectDeath runs a contract violation in a forked
+// child and expects the NETSHUFFLE_FATAL abort path.
 
 #ifndef NETSHUFFLE_TESTS_TEST_UTIL_H_
 #define NETSHUFFLE_TESTS_TEST_UTIL_H_
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <cstdio>
@@ -28,5 +32,25 @@
       std::exit(1);                                                        \
     }                                                                      \
   } while (0)
+
+namespace netshuffle_test {
+
+/// Runs `violation` in a forked child and expects an abnormal exit (the
+/// NETSHUFFLE_FATAL abort path).  Reaching the end of the lambda exits 0,
+/// which fails the parent's check.
+template <typename Fn>
+void ExpectDeath(Fn violation) {
+  const pid_t pid = fork();
+  CHECK(pid >= 0);
+  if (pid == 0) {
+    violation();
+    _exit(0);  // reaching here fails the parent's check
+  }
+  int wstatus = 0;
+  CHECK(waitpid(pid, &wstatus, 0) == pid);
+  CHECK(!(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0));
+}
+
+}  // namespace netshuffle_test
 
 #endif  // NETSHUFFLE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the scale CI job (stdlib only).
+
+Compares the headline of a fresh BENCH_<name>.json against the pinned
+baseline in bench/baseline_scale.json and fails (exit 1) when the measured
+reports/s drops below tolerance * baseline.  A run that did not complete
+("completed": false) also fails: a bailed harness must not pass the gate.
+
+Usage: perf_gate.py <BENCH_json> <baseline_json> [tolerance]
+
+`tolerance` is the allowed fraction of the baseline (default 0.8, i.e. fail
+on a > 20% drop).  Speedups always pass and are reported so the trajectory
+is visible in the CI log.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench_path, baseline_path = sys.argv[1], sys.argv[2]
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.8
+
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    if not bench.get("completed", False):
+        print(f"FAIL: {bench_path} has completed=false (harness bailed)")
+        return 1
+
+    # Apples to apples: a 4-thread run against a 1-thread baseline would
+    # hide a multi-x single-thread regression behind the parallel speedup.
+    if bench.get("threads") != baseline.get("threads"):
+        print(
+            f"FAIL: thread-count mismatch: bench ran at "
+            f"{bench.get('threads')} thread(s), baseline pins "
+            f"{baseline.get('threads')} — rerun with NS_THREADS="
+            f"{baseline.get('threads')} (or re-pin the baseline)"
+        )
+        return 1
+    if bench.get("scale", 1.0) != 1.0:
+        print(
+            f"FAIL: bench ran at NS_SCALE={bench.get('scale')}; the pinned "
+            f"baseline is full-scale (n={baseline.get('n')})"
+        )
+        return 1
+
+    metric = baseline["headline_metric"]
+    headline = bench.get("headline", {})
+    if headline.get("metric") != metric:
+        print(
+            f"FAIL: headline metric mismatch: bench tracks "
+            f"{headline.get('metric')!r}, baseline pins {metric!r}"
+        )
+        return 1
+
+    measured = headline.get("value")
+    pinned = baseline["reports_per_sec"]
+    if not isinstance(measured, (int, float)) or measured <= 0:
+        print(f"FAIL: non-numeric headline value {measured!r}")
+        return 1
+
+    ratio = measured / pinned
+    verdict = "PASS" if ratio >= tolerance else "FAIL"
+    print(
+        f"{verdict}: {metric} = {measured:.4g} reports/s vs baseline "
+        f"{pinned:.4g} ({ratio:.2f}x, gate at {tolerance:.2f}x of baseline, "
+        f"source commit {baseline.get('source_commit', '?')})"
+    )
+    return 0 if verdict == "PASS" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
