@@ -3,6 +3,7 @@
 #ifndef NETSHUFFLE_BENCH_EXPERIMENT_COMMON_H_
 #define NETSHUFFLE_BENCH_EXPERIMENT_COMMON_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -65,10 +66,11 @@ inline size_t EnvThreads() { return EnvThreadCount(); }
 /// honest "completed": false).
 /// Schema (schema_version 2 added the version marker itself and the
 /// accountant name, so cross-PR tooling can refuse to compare apples to
-/// oranges; 3 added "completed"):
+/// oranges; 3 added "completed"; 4 added the optional "latencies" object
+/// for serving-style harnesses that measure per-operation tails):
 ///
 ///   {
-///     "schema_version": 3,
+///     "schema_version": 4,
 ///     "name": "fig4_privacy_rounds",      // harness name
 ///     "threads": 4,                       // effective NS_THREADS
 ///     "scale": 0.05,                      // effective NS_SCALE
@@ -79,7 +81,10 @@ inline size_t EnvThreads() { return EnvThreadCount(); }
 ///     "wall_seconds": 1.234567,           // whole-harness wall time
 ///     "headline": {"metric": "...", "value": ...},   // the one number to
 ///                                                    // track across PRs
-///     "metrics": {"...": ..., ...}        // optional extras
+///     "metrics": {"...": ..., ...},       // optional extras
+///     "latencies": {                      // optional (AddLatency): per-op
+///       "<op>": {"p50_ms": ..., "p99_ms": ..., "p999_ms": ...}, ...
+///     }
 ///   }
 ///
 /// Non-finite values are serialized as null.  Output lands in the working
@@ -117,6 +122,19 @@ class BenchRunner {
     extras_.emplace_back(key, value);
   }
 
+  /// Per-operation latency tail for the "latencies" object (serving
+  /// harnesses; milliseconds).  One entry per op name, last call wins.
+  void AddLatency(const std::string& op, double p50_ms, double p99_ms,
+                  double p999_ms) {
+    for (auto& l : latencies_) {
+      if (l.op == op) {
+        l = LatencyRow{op, p50_ms, p99_ms, p999_ms};
+        return;
+      }
+    }
+    latencies_.push_back(LatencyRow{op, p50_ms, p99_ms, p999_ms});
+  }
+
   double elapsed_seconds() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start_)
@@ -147,7 +165,7 @@ class BenchRunner {
       return false;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema_version\": 3,\n");
+    std::fprintf(f, "  \"schema_version\": 4,\n");
     std::fprintf(f, "  \"name\": \"%s\",\n", name_.c_str());
     std::fprintf(f, "  \"threads\": %zu,\n", threads_);
     std::fprintf(f, "  \"scale\": %s,\n", Number(scale_).c_str());
@@ -162,7 +180,19 @@ class BenchRunner {
       std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
                    extras_[i].first.c_str(), Number(extras_[i].second).c_str());
     }
-    std::fprintf(f, "}\n}\n");
+    if (latencies_.empty()) {
+      std::fprintf(f, "}\n}\n");
+    } else {
+      std::fprintf(f, "},\n  \"latencies\": {");
+      for (size_t i = 0; i < latencies_.size(); ++i) {
+        const LatencyRow& l = latencies_[i];
+        std::fprintf(
+            f, "%s\"%s\": {\"p50_ms\": %s, \"p99_ms\": %s, \"p999_ms\": %s}",
+            i == 0 ? "" : ", ", l.op.c_str(), Number(l.p50_ms).c_str(),
+            Number(l.p99_ms).c_str(), Number(l.p999_ms).c_str());
+      }
+      std::fprintf(f, "}\n}\n");
+    }
     std::fclose(f);
     return true;
   }
@@ -183,7 +213,22 @@ class BenchRunner {
   std::string headline_metric_ = "unset";
   double headline_value_ = 0.0;
   std::vector<std::pair<std::string, double>> extras_;
+  struct LatencyRow {
+    std::string op;
+    double p50_ms, p99_ms, p999_ms;
+  };
+  std::vector<LatencyRow> latencies_;
 };
+
+/// Tail extraction for serving benches: sorts in place and reads the
+/// nearest-rank quantile (q in [0, 1]); 0 on an empty sample.
+inline double QuantileInPlace(std::vector<double>* samples, double q) {
+  if (samples->empty()) return 0.0;
+  std::sort(samples->begin(), samples->end());
+  const size_t last = samples->size() - 1;
+  const size_t rank = static_cast<size_t>(q * static_cast<double>(last) + 0.5);
+  return (*samples)[std::min(rank, last)];
+}
 
 /// Builds (or reloads from an on-disk cache) a synthetic dataset.  The cache
 /// makes repeated bench invocations fast; delete *.edges files to refresh.

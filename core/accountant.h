@@ -89,6 +89,14 @@ class Accountant {
   /// PLACE (same object address — e.g. Session::Rewire) must call this;
   /// pointer-keyed caches cannot see such a change on their own.
   virtual void OnTopologyChanged() {}
+
+  /// A fresh accountant with this one's CONFIGURATION (trials, quantile,
+  /// ...) but none of its cached walk state.  Session::Create adopts a
+  /// clone, never the configured instance itself: a SessionConfig is
+  /// copyable, so two Creates from one config would otherwise share one
+  /// mutable accountant — its cache keyed on dead graph addresses and its
+  /// queries racing across sessions.
+  virtual std::unique_ptr<Accountant> Clone() const = 0;
 };
 
 /// Theorem 5.3 (kAll) / 5.5 (kSingle) at the Eq.-7 collision-mass bound
@@ -98,6 +106,9 @@ class StationaryBoundAccountant : public Accountant {
  public:
   const char* name() const override { return "stationary_bound"; }
   PrivacyParams Certify(const AccountingContext& ctx) override;
+  std::unique_ptr<Accountant> Clone() const override {
+    return std::make_unique<StationaryBoundAccountant>();
+  }
 };
 
 /// Theorem 5.4: exact position tracking of a report injected at node 0 (the
@@ -112,6 +123,11 @@ class SymmetricExactAccountant : public Accountant {
   void OnTopologyChanged() override {
     cached_graph_ = nullptr;
     dist_.reset();
+  }
+  /// The clone starts with an empty walk cache (it is rebuilt on first
+  /// query), so cloning never leaks tracked state across sessions.
+  std::unique_ptr<Accountant> Clone() const override {
+    return std::make_unique<SymmetricExactAccountant>();
   }
 
  private:
@@ -130,6 +146,9 @@ class MonteCarloAccountant : public Accountant {
 
   const char* name() const override { return "monte_carlo"; }
   PrivacyParams Certify(const AccountingContext& ctx) override;
+  std::unique_ptr<Accountant> Clone() const override {
+    return std::make_unique<MonteCarloAccountant>(trials_, quantile_);
+  }
 
   size_t trials() const { return trials_; }
   double quantile() const { return quantile_; }

@@ -1,11 +1,13 @@
 #include "core/session.h"
 
 #include <cmath>
+#include <thread>
 #include <utility>
 
 #include "graph/connectivity.h"
 #include "graph/spectral.h"
 #include "graph/walk.h"
+#include "util/rng.h"
 
 namespace netshuffle {
 
@@ -14,6 +16,32 @@ namespace {
 bool ValidSlack(double d) { return std::isfinite(d) && d > 0.0 && d < 1.0; }
 
 }  // namespace
+
+/// Guards the mutator-only entry points (Step/BeginEpoch/Rewire): two
+/// overlapping mutations — or a Finalize that observes one in flight — are
+/// a contract violation that would silently produce a torn exchange state,
+/// so they abort loudly instead.  Detection is best-effort (a racing pair
+/// may interleave before the exchange), but every deterministic misuse and
+/// the common racing ones die here.
+class Session::MutationScope {
+ public:
+  MutationScope(Session::Sync* sync, const char* op) : sync_(sync) {
+    if (sync_->mutating.exchange(true, std::memory_order_acq_rel)) {
+      NETSHUFFLE_FATAL(
+          std::string(op) +
+          " overlaps another Step/BeginEpoch/Rewire: mutator calls require "
+          "external synchronization (one serving thread — see the "
+          "concurrency contract in core/session.h)");
+    }
+  }
+  ~MutationScope() { sync_->mutating.store(false, std::memory_order_release); }
+
+  MutationScope(const MutationScope&) = delete;
+  MutationScope& operator=(const MutationScope&) = delete;
+
+ private:
+  Session::Sync* sync_;
+};
 
 Status Session::Validate(const SessionConfig& config) {
   if (config.graph().num_nodes() == 0) {
@@ -48,36 +76,11 @@ Status Session::Validate(const SessionConfig& config) {
     }
   }
   if (config.has_payloads()) {
-    const PayloadArena& arena = config.payloads();
-    const size_t n = config.graph().num_nodes();
-    if (arena.num_reports() != n) {
-      return Status::Error(
-          StatusCode::kPayloadMismatch,
-          "the payload arena holds " + std::to_string(arena.num_reports()) +
-              " reports for " + std::to_string(n) +
-              " users; the protocol injects exactly one report per user");
-    }
-    std::vector<bool> seen(n, false);
-    for (ReportId r = 0; r < static_cast<ReportId>(n); ++r) {
-      const NodeId o = arena.origin(r);
-      if (static_cast<size_t>(o) >= n) {
-        return Status::Error(
-            StatusCode::kPayloadMismatch,
-            "report " + std::to_string(r) + " has origin " +
-                std::to_string(o) + " outside the " + std::to_string(n) +
-                "-user population");
-      }
-      if (seen[o]) {
-        // A duplicated origin means one user spends its eps0 budget twice
-        // (and another spends none): every accountant assumes one report
-        // per user, so the certified epsilon would silently be wrong.
-        return Status::Error(
-            StatusCode::kPayloadMismatch,
-            "origin " + std::to_string(o) + " injects more than one report; "
-                "the protocol (and its accounting) is one report per user");
-      }
-      seen[o] = true;
-    }
+    // The same invariant BeginEpoch enforces at each per-epoch seal
+    // (shuffle/payload.h); the one-shot path is epoch 0 of that lifecycle.
+    const Status one_per_user =
+        config.payloads().ValidateOnePerUser(config.graph().num_nodes());
+    if (!one_per_user.ok()) return one_per_user;
   }
   if (config.require_mixed_rounds() && config.rounds() > 0) {
     // Costs a spectral estimate that Create's constructor repeats; the
@@ -113,12 +116,22 @@ Session::Session(SessionConfig config)
       faults_(config.faults()),
       metrics_(config.metrics()),
       allow_non_ergodic_(config.allow_non_ergodic()),
-      require_mixed_rounds_(config.require_mixed_rounds()) {
+      require_mixed_rounds_(config.require_mixed_rounds()),
+      epoch_seed_(config.seed()),
+      sync_(std::make_unique<Sync>()) {
   if (accountant_ == nullptr) {
     accountant_ = std::make_shared<StationaryBoundAccountant>();
+  } else {
+    // Adopt a CLONE, never the configured instance: the config is copyable,
+    // so the same accountant object could otherwise be adopted by several
+    // sessions — cached walk state keyed on dead graph addresses, queries
+    // racing across sessions, and this session's query-side mutex
+    // (Sync::accountant) protecting nothing.
+    accountant_ = accountant_->Clone();
   }
-  // An adopted accountant may have been used by an earlier session whose
-  // graph lived at this session's address; drop any pointer-keyed cache.
+  // Clones start cache-free by contract, but a custom Clone may copy cached
+  // walk state keyed on another session's graph address; invalidate
+  // defensively.
   accountant_->OnTopologyChanged();
   gap_ = EstimateSpectralGap(graph_).gap;
   stationary_sum_squares_ = StationarySumSquares(graph_);
@@ -141,13 +154,18 @@ Status Session::Step(size_t k) {
                          "Session::Step(0): advancing zero rounds is a no-op "
                          "the engine rejects; pass k >= 1");
   }
+  MutationScope scope(sync_.get(), "Session::Step");
   ExchangeOptions opts;
   opts.rounds = k;
   opts.first_round = state_.rounds;
-  opts.seed = seed_;
+  opts.seed = epoch_seed_;
   opts.faults = faults_;
   opts.metrics = metrics_;
   state_ = ResumeExchange(graph_, std::move(state_), opts);
+  // Publish AFTER the exchange lands: a reader that observes the new round
+  // count may immediately certify a guarantee at it.
+  sync_->progress.store(PackProgress(epoch_, state_.rounds),
+                        std::memory_order_release);
   return Status::Ok();
 }
 
@@ -170,7 +188,13 @@ Expected<size_t> Session::StepUntil(double target_epsilon, size_t max_rounds) {
 }
 
 ProtocolResult Session::Finalize(ReportingProtocol protocol) const {
-  return FinalizeProtocol(state_, protocol, seed_);
+  if (sync_->mutating.load(std::memory_order_acquire)) {
+    NETSHUFFLE_FATAL(
+        "Session::Finalize overlaps a Step/BeginEpoch/Rewire in flight: it "
+        "reads the exchange state those calls mutate, so it belongs to the "
+        "mutator thread (see the concurrency contract in core/session.h)");
+  }
+  return FinalizeProtocol(state_, protocol, epoch_seed_);
 }
 
 ProtocolResult Session::Run() {
@@ -179,7 +203,44 @@ ProtocolResult Session::Run() {
   return Finalize();
 }
 
+Status Session::Ingest(NodeId origin, const uint8_t* data, size_t size) {
+  if (static_cast<size_t>(origin) >= graph_.num_nodes()) {
+    return Status::Error(
+        StatusCode::kPayloadMismatch,
+        "Ingest: origin " + std::to_string(origin) + " is outside the " +
+            std::to_string(graph_.num_nodes()) + "-user population");
+  }
+  pending_.Append(origin, data, size);
+  return Status::Ok();
+}
+
+Status Session::BeginEpoch() {
+  MutationScope scope(sync_.get(), "Session::BeginEpoch");
+  // Seal first: on a short epoch or a duplicate origin this returns the
+  // typed kPayloadMismatch and the epoch does NOT roll — the pending arena
+  // stays mutable (short epochs keep ingesting; duplicates DiscardPending).
+  const Status sealed = pending_.Seal(graph_.num_nodes());
+  if (!sealed.ok()) return sealed;
+
+  // Exclusive vs accounting readers: the exchange swap below invalidates
+  // what ContextAt/Certify read (rounds restart, fresh holdings).  The
+  // writer_waiting gate keeps a continuous query load from starving the
+  // rollover (readers yield while it is raised).
+  sync_->writer_waiting.store(true, std::memory_order_release);
+  std::unique_lock<std::shared_mutex> structure(sync_->structure);
+  sync_->writer_waiting.store(false, std::memory_order_release);
+  ++epoch_;
+  // Fresh engine/finalize streams per epoch; epoch 0 keeps seed_ itself so
+  // the one-shot path is bit-identical to the pre-epoch engine.
+  epoch_seed_ = HashCombine(seed_, static_cast<uint64_t>(epoch_));
+  state_ = StartExchange(graph_, std::move(pending_), metrics_);
+  pending_ = PayloadArena();
+  sync_->progress.store(PackProgress(epoch_, 0), std::memory_order_release);
+  return Status::Ok();
+}
+
 Status Session::Rewire(Graph graph) {
+  MutationScope scope(sync_.get(), "Session::Rewire");
   if (graph.num_nodes() != graph_.num_nodes()) {
     return Status::Error(
         StatusCode::kGraphMismatch,
@@ -199,15 +260,27 @@ Status Session::Rewire(Graph graph) {
   const Status status = Validate(probe);
   if (!status.ok()) return status;
 
+  // Spectral work happens OUTSIDE the exclusive lock (it is O(n * walk)):
+  // readers keep answering against the old topology until the O(1) swap.
+  const double new_gap = EstimateSpectralGap(probe.graph()).gap;
+  const double new_sss = StationarySumSquares(probe.graph());
+  const size_t new_mixing = MixingTime(new_gap, probe.graph().num_nodes());
+
+  // Exclusive vs accounting readers, who read every field swapped here
+  // (writer-priority: see BeginEpoch).
+  sync_->writer_waiting.store(true, std::memory_order_release);
+  std::unique_lock<std::shared_mutex> structure(sync_->structure);
+  sync_->writer_waiting.store(false, std::memory_order_release);
   graph_ = probe.ReleaseGraph();
-  gap_ = EstimateSpectralGap(graph_).gap;
-  stationary_sum_squares_ = StationarySumSquares(graph_);
-  mixing_rounds_ = MixingTime(gap_, graph_.num_nodes());
+  gap_ = new_gap;
+  stationary_sum_squares_ = new_sss;
+  mixing_rounds_ = new_mixing;
   // A mixing-time rounds policy re-resolves against the new topology; an
   // explicit SetRounds target is the caller's to keep.
   if (!rounds_fixed_) target_rounds_ = mixing_rounds_;
   // The graph changed under the accountant's feet (same member address, so
   // pointer-keyed caches cannot tell): drop any tracked walk state.
+  std::lock_guard<std::mutex> acct(sync_->accountant);
   accountant_->OnTopologyChanged();
   return Status::Ok();
 }
@@ -223,12 +296,23 @@ AccountingContext Session::ContextAt(size_t rounds, double epsilon0) const {
   ctx.spectral_gap = gap_;
   ctx.stationary_sum_squares = stationary_sum_squares_;
   ctx.graph = &graph_;
-  ctx.seed = seed_;
+  ctx.seed = epoch_seed_;
   return ctx;
 }
 
 PrivacyParams Session::RawGuaranteeAt(size_t rounds, double epsilon0) const {
-  return accountant_->Certify(ContextAt(rounds, epsilon0));
+  // Shared vs BeginEpoch/Rewire (which swap the graph/spectral fields this
+  // reads) — Step never takes this lock, so queries overlap stepping freely.
+  // Back off while a structural writer waits: reader-preferring rwlocks
+  // would otherwise starve epoch rollovers under continuous query load.
+  while (sync_->writer_waiting.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  std::shared_lock<std::shared_mutex> structure(sync_->structure);
+  const AccountingContext ctx = ContextAt(rounds, epsilon0);
+  // Accountants may cache walk state between queries; one reader at a time.
+  std::lock_guard<std::mutex> acct(sync_->accountant);
+  return accountant_->Certify(ctx);
 }
 
 PrivacyParams Session::GuaranteeAt(size_t rounds, double epsilon0) const {

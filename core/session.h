@@ -18,16 +18,30 @@
 // epsilon (StepUntil), dynamic-graph rewiring between steps (Rewire), and
 // per-step fault/collusion injection.
 //
+// A Session is also a long-lived SERVING core (DESIGN.md §8): reports
+// stream in via Ingest() between epochs, BeginEpoch() seals them into a
+// fresh per-epoch exchange, FinalizeEpoch() closes an epoch out, and
+// accounting queries (Guarantee / GuaranteeAt / current_round / epoch) are
+// safe from reader threads concurrently with Step — progress is published
+// through one acquire/release atomic and accountant caches are serialized
+// on a query-side mutex, with zero locks added to the hot scatter path.
+// The one-shot path (Create with payloads -> Step -> Finalize) is epoch 0
+// of the same lifecycle, bit-identical to the pre-epoch engine
+// (tests/test_session_incremental.cc).
+//
 // Accounting is pluggable (core/accountant.h) and mechanisms are pluggable
 // (dp/mechanism.h).  See DESIGN.md "Session API".
 
 #ifndef NETSHUFFLE_CORE_SESSION_H_
 #define NETSHUFFLE_CORE_SESSION_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 
@@ -43,7 +57,9 @@ namespace netshuffle {
 
 /// Builder-style configuration.  Every setter returns *this so calls chain;
 /// build a named config and std::move it into Session::Create.  The config
-/// is copyable (the accountant is shared until Create adopts it).
+/// is copyable, and safely so: Create adopts a private Accountant::Clone()
+/// of the configured accountant, so two sessions built from one (copied)
+/// config never share mutable accounting state.
 class SessionConfig {
  public:
   /// The communication graph (required; the session takes ownership).
@@ -106,7 +122,10 @@ class SessionConfig {
     return *this;
   }
 
-  /// Pluggable accounting; default is StationaryBoundAccountant.
+  /// Pluggable accounting; default is StationaryBoundAccountant.  The
+  /// session adopts a Clone() at Create (configuration, not cache), so the
+  /// instance set here is never mutated by the session and one config can
+  /// safely build many sessions.
   SessionConfig& SetAccountant(std::shared_ptr<Accountant> accountant) {
     accountant_ = std::move(accountant);
     return *this;
@@ -202,7 +221,45 @@ class Session {
   /// irregularity at the operating point (1 for regular graphs).
   double Gamma() const;
 
-  size_t current_round() const { return state_.rounds; }
+  // ---- Concurrency contract ------------------------------------------------
+  //
+  // A serving deployment runs ONE mutator thread and any number of reader
+  // threads (DESIGN.md §8 "Serving model"):
+  //
+  //   mutator-only (external synchronization, enforced best-effort by a
+  //   fatal mutation flag):  Step / StepToTarget / StepUntil / Run /
+  //   BeginEpoch / Rewire / Finalize / FinalizeEpoch.
+  //
+  //   reader-safe, concurrent with Step AND with BeginEpoch/Rewire:
+  //   Guarantee / GuaranteeAt / RawGuaranteeAt / TargetGuarantee /
+  //   current_round / epoch / spectral_gap-independent getters.  Progress
+  //   is published through one packed (epoch, round) atomic with
+  //   release/acquire ordering — readers observe a monotone counter and
+  //   never a torn (epoch, round) pair — and the graph/spectral state those
+  //   queries read is guarded by a shared mutex that only BeginEpoch and
+  //   Rewire take exclusively.  Accountant caches are serialized on a
+  //   query-side mutex.  No lock of any kind is added to the engine's hop
+  //   or scatter passes.
+  //
+  //   ingest-thread (one producer; may be the mutator or a third thread):
+  //   Ingest / pending_arena / pending_reports / DiscardPending.  The
+  //   pending arena is disjoint from the executing epoch's state, so
+  //   ingest for epoch e+1 may proceed while epoch e steps, finalizes, and
+  //   answers queries — it must only quiesce across the BeginEpoch that
+  //   seals it.
+  //
+  // (tests/test_concurrent_accounting.cc hammers the reader surface from
+  // threads while the mutator steps and rolls epochs, under TSan in CI.)
+
+  /// Epoch-local executed rounds (acquire-published; reader-safe).
+  size_t current_round() const {
+    return UnpackRounds(sync_->progress.load(std::memory_order_acquire));
+  }
+  /// Serving epoch index: 0 is the Create-injected epoch of the one-shot
+  /// path; each BeginEpoch increments it (acquire-published; reader-safe).
+  size_t epoch() const {
+    return UnpackEpoch(sync_->progress.load(std::memory_order_acquire));
+  }
   /// The immutable origin/payload columns the session's routed ids index
   /// into (also shared into every Finalize result).
   const PayloadArena& payloads() const { return *state_.payloads; }
@@ -230,9 +287,67 @@ class Session {
 
   /// Applies the reporting protocol to the CURRENT holdings, producing the
   /// curator inbox.  Does not consume the session: stepping can continue
-  /// afterwards (mid-run inboxes for audits).
+  /// afterwards (mid-run inboxes for audits).  Reads the exchange state
+  /// Step mutates, so it belongs to the mutator thread (see the concurrency
+  /// contract above); a Finalize that observes a Step/BeginEpoch/Rewire in
+  /// flight is a fatal contract violation, not a torn inbox.  Safe
+  /// concurrent with Ingest and with accounting reads.
   ProtocolResult Finalize() const { return Finalize(protocol_); }
   ProtocolResult Finalize(ReportingProtocol protocol) const;
+
+  // ---- Serving lifecycle (epochs) -----------------------------------------
+  //
+  // The canonical serving loop (DESIGN.md §8):
+  //
+  //   while (serving) {
+  //     mechanism.EmitReport(u, datum, &rng, session.pending_arena());
+  //     ...                                  // stream next epoch's ingest
+  //     inbox = session.FinalizeEpoch();     // close out the current epoch
+  //     status = session.BeginEpoch();       // seal pending -> fresh epoch
+  //     session.StepToTarget();              // mix the new epoch
+  //   }
+  //
+  // ingest -> seal -> exchange -> finalize: ingest streams into a PENDING
+  // PayloadArena while the current epoch executes; BeginEpoch seals it
+  // (per-epoch one-report-per-user validation, typed kPayloadMismatch) and
+  // injects it as the next epoch's exchange state.
+
+  /// Streams one report into the pending (next-epoch) arena.  Typed
+  /// kPayloadMismatch for an out-of-range origin; duplicate origins and a
+  /// short epoch surface at the BeginEpoch seal point.  One producer
+  /// thread; safe concurrent with Step/Finalize/queries on the current
+  /// epoch.
+  Status Ingest(NodeId origin, const uint8_t* data, size_t size);
+  Status Ingest(NodeId origin, const Bytes& payload) {
+    return Ingest(origin, payload.data(), payload.size());
+  }
+
+  /// The mutable pending arena, for streaming typed mechanism reports
+  /// (Mechanism::EmitReport(..., session.pending_arena())).  Appends bypass
+  /// Ingest's early origin check; BeginEpoch's seal validates everything.
+  PayloadArena* pending_arena() { return &pending_; }
+  /// Reports ingested toward the next epoch so far.
+  size_t pending_reports() const { return pending_.num_reports(); }
+  /// Drops all pending ingest (e.g. after a duplicate-origin seal failure,
+  /// which appends cannot repair) and starts the next epoch's arena empty.
+  void DiscardPending() { pending_ = PayloadArena(); }
+
+  /// Seals the pending arena (one report per user — typed kPayloadMismatch
+  /// otherwise, leaving the arena mutable so a short epoch can keep
+  /// ingesting) and replaces the exchange state with a fresh injection of
+  /// it: epoch() increments, current_round() restarts at 0, and the new
+  /// epoch's engine coins come from streams keyed on (seed, epoch).  The
+  /// previous epoch's holdings are dropped — FinalizeEpoch first.
+  Status BeginEpoch();
+
+  /// Closes out the CURRENT epoch: the curator inbox over its holdings.
+  /// An alias of Finalize() marking the serving loop's read point — safe
+  /// concurrent with the next epoch's Ingest (disjoint pending state) and
+  /// with accounting reads, mutator-only versus Step/BeginEpoch/Rewire.
+  ProtocolResult FinalizeEpoch() const { return Finalize(protocol_); }
+  ProtocolResult FinalizeEpoch(ReportingProtocol protocol) const {
+    return Finalize(protocol);
+  }
 
   /// One-shot convenience: StepToTarget + Finalize.
   ProtocolResult Run();
@@ -250,6 +365,9 @@ class Session {
   Status Rewire(Graph graph);
 
   // ---- Accounting queries --------------------------------------------------
+  //
+  // All of these are reader-safe: callable from any thread concurrently
+  // with Step, BeginEpoch, and Rewire (see the concurrency contract).
 
   /// Raw theorem guarantee at a hypothetical round count (no stepping
   /// required); can exceed eps0 in weak regimes.
@@ -263,7 +381,7 @@ class Session {
   /// accounting curve; the LDP floor before any stepping).
   PrivacyParams Guarantee() const { return Guarantee(epsilon0_); }
   PrivacyParams Guarantee(double epsilon0) const {
-    return GuaranteeAt(state_.rounds, epsilon0);
+    return GuaranteeAt(current_round(), epsilon0);
   }
 
   /// Capped guarantee at the resolved operating point target_rounds() —
@@ -277,6 +395,44 @@ class Session {
   explicit Session(SessionConfig config);
 
   AccountingContext ContextAt(size_t rounds, double epsilon0) const;
+
+  // One packed word so readers never see a torn (epoch, round) pair, and
+  // so progress is globally monotone across epoch rollovers.  Epoch-local
+  // rounds are capped at 2^32 - 1 — unreachable (a round is an O(n) pass).
+  static uint64_t PackProgress(size_t epoch, size_t rounds) {
+    return (static_cast<uint64_t>(epoch) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(rounds));
+  }
+  static size_t UnpackEpoch(uint64_t p) { return static_cast<size_t>(p >> 32); }
+  static size_t UnpackRounds(uint64_t p) {
+    return static_cast<size_t>(p & 0xffffffffULL);
+  }
+
+  // Reader-publication state, shared between the mutator thread and
+  // accounting readers; behind a unique_ptr so Session stays movable
+  // (atomics and mutexes are not).
+  struct Sync {
+    /// PackProgress(epoch, epoch-local rounds), release-stored after every
+    /// Step and BeginEpoch; the acquire side of current_round()/epoch().
+    std::atomic<uint64_t> progress{0};
+    /// Best-effort contract enforcement: true while Step/BeginEpoch/Rewire
+    /// mutate; a second mutator (or a concurrent Finalize) fatals.
+    std::atomic<bool> mutating{false};
+    /// Readers hold shared around graph/spectral reads; BeginEpoch and
+    /// Rewire hold exclusive while swapping those fields.
+    mutable std::shared_mutex structure;
+    /// Writer-priority gate for `structure`: pthread rwlocks prefer readers,
+    /// so a continuous query load would starve an epoch rollover
+    /// indefinitely.  BeginEpoch/Rewire raise this before taking the
+    /// exclusive lock; readers yield until it clears, bounding rollover
+    /// latency by one in-flight query.
+    std::atomic<bool> writer_waiting{false};
+    /// Serializes accountant cache access across reader threads.
+    mutable std::mutex accountant;
+  };
+
+  /// RAII around the mutator-only calls: fatal on overlap.
+  class MutationScope;
 
   Graph graph_;
   ReportingProtocol protocol_ = ReportingProtocol::kAll;
@@ -296,7 +452,17 @@ class Session {
   size_t mixing_rounds_ = 0;
   size_t target_rounds_ = 0;
   bool rounds_fixed_ = false;
+  /// The CURRENT epoch's exchange state, replaced wholesale by BeginEpoch.
   ExchangeResult state_;
+  /// Serving epoch index mirrored into sync_->progress (mutator's copy).
+  size_t epoch_ = 0;
+  /// Engine/finalize seed of the current epoch: seed_ for epoch 0 (the
+  /// one-shot path, bit-identical to the pre-epoch engine), then
+  /// HashCombine(seed_, epoch) so every epoch draws fresh streams.
+  uint64_t epoch_seed_ = 0;
+  /// Next epoch's streamed ingest (sealed and adopted by BeginEpoch).
+  PayloadArena pending_;
+  std::unique_ptr<Sync> sync_;
 };
 
 }  // namespace netshuffle

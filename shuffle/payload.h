@@ -109,6 +109,54 @@ class PayloadArena {
   void Freeze() { frozen_ = true; }
   bool frozen() const { return frozen_; }
 
+  /// The one-report-per-user protocol invariant, checked without freezing:
+  /// exactly `num_users` reports, every origin inside the population, no
+  /// origin twice (a duplicated origin means one user spends its eps0
+  /// budget twice and another spends none — every accountant assumes one
+  /// report per user, so the certified epsilon would silently be wrong).
+  /// Returns a typed kPayloadMismatch describing the first violation.
+  /// Session::Validate applies it to config-supplied arenas; Seal applies
+  /// it to each serving epoch's streamed ingest.
+  Status ValidateOnePerUser(size_t num_users) const {
+    if (origins_.size() != num_users) {
+      return Status::Error(
+          StatusCode::kPayloadMismatch,
+          "the payload arena holds " + std::to_string(origins_.size()) +
+              " reports for " + std::to_string(num_users) +
+              " users; the protocol injects exactly one report per user");
+    }
+    std::vector<bool> seen(num_users, false);
+    for (ReportId r = 0; r < static_cast<ReportId>(num_users); ++r) {
+      const NodeId o = origins_[r];
+      if (static_cast<size_t>(o) >= num_users) {
+        return Status::Error(
+            StatusCode::kPayloadMismatch,
+            "report " + std::to_string(r) + " has origin " +
+                std::to_string(o) + " outside the " +
+                std::to_string(num_users) + "-user population");
+      }
+      if (seen[o]) {
+        return Status::Error(
+            StatusCode::kPayloadMismatch,
+            "origin " + std::to_string(o) + " injects more than one report; "
+                "the protocol (and its accounting) is one report per user");
+      }
+      seen[o] = true;
+    }
+    return Status::Ok();
+  }
+
+  /// The per-epoch seal point of the serving lifecycle (DESIGN.md §8):
+  /// validates the one-report-per-user invariant and, only if it holds,
+  /// freezes the arena.  On violation the arena stays MUTABLE, so a
+  /// streaming producer can append the missing reports and re-seal (a
+  /// duplicated origin, however, cannot be retracted — discard the arena).
+  Status Seal(size_t num_users) {
+    const Status status = ValidateOnePerUser(num_users);
+    if (status.ok()) frozen_ = true;
+    return status;
+  }
+
   // ---- Read side -----------------------------------------------------------
 
   size_t num_reports() const { return origins_.size(); }

@@ -6,6 +6,11 @@
 // of re-scanning the inbox with a fresh O(n) bitmap per call.  Reports whose
 // origin lies outside the expected population are counted in
 // invalid_origin_count() instead of silently vanishing from the statistics.
+//
+// A serving deployment (DESIGN.md §8) receives one inbox PER EPOCH:
+// BeginEpoch() archives the finished epoch's counters into epochs_received()
+// and resets the live inbox/coverage state, mirroring the session-side
+// Session::BeginEpoch rollover.
 
 #ifndef NETSHUFFLE_SHUFFLE_SERVER_H_
 #define NETSHUFFLE_SHUFFLE_SERVER_H_
@@ -58,6 +63,35 @@ class Server {
   /// corrupted or misaddressed submissions, surfaced instead of ignored.
   size_t invalid_origin_count() const { return invalid_origin_count_; }
 
+  /// Per-epoch summary archived by BeginEpoch().
+  struct EpochStats {
+    size_t received = 0;
+    size_t distinct_origins = 0;
+    size_t invalid_origins = 0;
+    double coverage = 0.0;
+  };
+
+  /// Rolls the curator to the next serving epoch: archives the live
+  /// counters into epochs_received() and clears the inbox and coverage
+  /// bitmap (origins repeat across epochs by design — every user injects
+  /// once per epoch).  Call after consuming the finished epoch's inbox.
+  void BeginEpoch() {
+    EpochStats stats;
+    stats.received = inbox_.size();
+    stats.distinct_origins = distinct_origins_;
+    stats.invalid_origins = invalid_origin_count_;
+    stats.coverage = PayloadCoverage();
+    epochs_.push_back(stats);
+    inbox_.clear();
+    seen_.assign(expected_users_, false);
+    distinct_origins_ = 0;
+    invalid_origin_count_ = 0;
+  }
+
+  /// Archived summaries of every epoch closed by BeginEpoch(), oldest
+  /// first.  The LIVE epoch's counters are the accessors above.
+  const std::vector<EpochStats>& epochs_received() const { return epochs_; }
+
  private:
   void Observe(const FinalReport& fr) {
     const size_t o = static_cast<size_t>(fr.origin);
@@ -76,6 +110,7 @@ class Server {
   size_t distinct_origins_ = 0;
   size_t invalid_origin_count_ = 0;
   std::vector<FinalReport> inbox_;
+  std::vector<EpochStats> epochs_;
 };
 
 }  // namespace netshuffle

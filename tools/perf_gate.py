@@ -2,15 +2,20 @@
 """Perf-regression gate for the scale CI job (stdlib only).
 
 Compares the headline of a fresh BENCH_<name>.json against the pinned
-baseline in bench/baseline_scale.json and fails (exit 1) when the measured
-reports/s drops below tolerance * baseline.  A run that did not complete
+baseline in bench/baseline_*.json and fails (exit 1) when the measured
+headline drops below tolerance * baseline.  A run that did not complete
 ("completed": false) also fails: a bailed harness must not pass the gate.
+
+When the baseline pins "p99_latency_ms", the bench's metrics.p99_latency_ms
+is gated too — in the HIGHER-IS-WORSE direction: the gate fails when the
+measured tail exceeds pinned / tolerance (tolerance 0.8 allows up to a
+1.25x tail growth).
 
 Usage: perf_gate.py <BENCH_json> <baseline_json> [tolerance]
 
 `tolerance` is the allowed fraction of the baseline (default 0.8, i.e. fail
-on a > 20% drop).  Speedups always pass and are reported so the trajectory
-is visible in the CI log.
+on a > 20% throughput drop).  Speedups / tail shrinkage always pass and are
+reported so the trajectory is visible in the CI log.
 """
 
 import json
@@ -68,11 +73,34 @@ def main() -> int:
     ratio = measured / pinned
     verdict = "PASS" if ratio >= tolerance else "FAIL"
     print(
-        f"{verdict}: {metric} = {measured:.4g} reports/s vs baseline "
+        f"{verdict}: {metric} = {measured:.4g} vs baseline "
         f"{pinned:.4g} ({ratio:.2f}x, gate at {tolerance:.2f}x of baseline, "
         f"source commit {baseline.get('source_commit', '?')})"
     )
-    return 0 if verdict == "PASS" else 1
+    failed = verdict == "FAIL"
+
+    # Optional latency gate, higher is WORSE: a serving baseline pins the
+    # p99 tail and the gate fails when the measured tail grows past
+    # pinned / tolerance.
+    pinned_lat = baseline.get("p99_latency_ms")
+    if pinned_lat is not None:
+        measured_lat = bench.get("metrics", {}).get("p99_latency_ms")
+        if not isinstance(measured_lat, (int, float)) or measured_lat <= 0:
+            print(
+                f"FAIL: baseline pins p99_latency_ms but the bench has no "
+                f"numeric metrics.p99_latency_ms (got {measured_lat!r})"
+            )
+            return 1
+        allowed = pinned_lat / tolerance
+        lat_verdict = "PASS" if measured_lat <= allowed else "FAIL"
+        print(
+            f"{lat_verdict}: p99_latency_ms = {measured_lat:.4g} ms vs "
+            f"baseline {pinned_lat:.4g} ms (gate at <= {allowed:.4g} ms; "
+            f"higher is worse)"
+        )
+        failed = failed or lat_verdict == "FAIL"
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -100,6 +100,13 @@ void ThreadPool::RunChunks(size_t chunks, const std::function<void(size_t)>& fn)
     return;
   }
 
+  // Serialize outside-the-pool dispatchers: a concurrent second dispatch
+  // would overwrite the single job slot while workers still drain the first
+  // (the session's accounting readers vs its stepping thread).  Workers and
+  // nested dispatch never reach here (inline path above), so this cannot
+  // self-deadlock.
+  std::lock_guard<std::mutex> dispatch_lk(dispatch_mutex_);
+
   Job job;
   job.fn = &fn;
   job.chunks = chunks;

@@ -54,11 +54,15 @@ size_t ThreadCount();
 /// chunks is absorbed without affecting results (chunk -> thread assignment
 /// is scheduling-only).  The dispatching thread participates in the work.
 ///
-/// Only one thread may dispatch at a time, and only from outside any
-/// parallel region; nested dispatch — from a worker, or from the
-/// dispatcher's own share of an outer job — runs inline instead of
-/// deadlocking, which is what lets the accountant's parallel trials call
-/// the (also parallel) exchange engine.
+/// Dispatch is serialized: concurrent RunChunks calls from different
+/// threads queue on an internal dispatch lock (the pool has a single job
+/// slot), so it is safe — though not parallel — for, say, an accounting
+/// reader thread to dispatch a walk sweep while the serving thread's
+/// exchange round is in flight (core/session.h "Concurrency contract").
+/// Nested dispatch — from a worker, or from the dispatcher's own share of
+/// an outer job — runs inline instead of deadlocking, which is what lets
+/// the accountant's parallel trials call the (also parallel) exchange
+/// engine.
 class ThreadPool {
  public:
   /// `threads` is the total parallelism including the dispatching thread, so
@@ -88,6 +92,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
+  // Held for the whole of a dispatched RunChunks call: the pool has ONE job
+  // slot (job_/generation_), so a second outside-the-pool dispatcher must
+  // wait for the current job to drain rather than overwrite it mid-flight.
+  std::mutex dispatch_mutex_;
   std::mutex mutex_;
   std::condition_variable wake_cv_;  // workers wait here for a new job
   std::condition_variable done_cv_;  // the dispatcher waits here
