@@ -1,0 +1,112 @@
+// google-benchmark micro suite: hop/scatter kernel throughput in isolation
+// (the batched exchange round of DESIGN.md §4e, without the protocol or
+// accounting layers around it).  Each BM_HopScatter* iteration advances a
+// persistent exchange state by exactly one round through a persistent
+// ExchangeWorkspace — the serving-loop shape (Session::Step(1)) whose
+// steady state the workspace exists for — so the per-iteration time IS the
+// per-round kernel cost at that n.  The coin-fill benchmarks isolate the
+// batch RNG layer (util/rng.h) against the per-user scalar construction it
+// replaced.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "micro_common.h"
+
+#include "graph/generators.h"
+#include "shuffle/engine.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace netshuffle {
+namespace {
+
+// One-round ResumeExchange steps over `g`, reusing state and workspace
+// across iterations (first_round advances, so every iteration draws fresh
+// per-round streams — no two iterations do identical work).
+void StepRounds(benchmark::State& state, const Graph& g) {
+  const size_t n = g.num_nodes();
+  ExchangeWorkspace ws;
+  ExchangeResult ex = StartExchange(g);
+  for (auto _ : state) {
+    ExchangeOptions opts;
+    opts.rounds = 1;
+    opts.first_round = ex.rounds;
+    opts.seed = 7;
+    ex = ResumeExchange(g, std::move(ex), opts, &ws);
+    benchmark::DoNotOptimize(ex.holdings.num_reports());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void BM_HopScatterRegular(benchmark::State& state) {
+  Rng rng(1);
+  const Graph g =
+      MakeRandomRegular(static_cast<size_t>(state.range(0)), 20, &rng);
+  StepRounds(state, g);
+}
+BENCHMARK(BM_HopScatterRegular)->Arg(10000)->Arg(100000);
+
+// Power-of-two degrees: every destination draw takes the pure-shift class
+// of the degree dispatch instead of the multiply-shift.
+void BM_HopScatterPow2(benchmark::State& state) {
+  const Graph g = MakeCirculant(static_cast<size_t>(state.range(0)), 16);
+  StepRounds(state, g);
+}
+BENCHMARK(BM_HopScatterPow2)->Arg(100000);
+
+// Power-law degrees (hubs accumulate holdings, exercising the multi-holder
+// stream expansion and the growing coin tiles).
+void BM_HopScatterBA(benchmark::State& state) {
+  Rng rng(2);
+  const Graph g =
+      MakeBarabasiAlbert(static_cast<size_t>(state.range(0)), 10, &rng);
+  StepRounds(state, g);
+}
+BENCHMARK(BM_HopScatterBA)->Arg(100000);
+
+// The batch coin layer alone: stream seeds + first words for a flat user
+// column (util/rng.h BatchStreamSeeds — AVX-512 on capable hosts).
+void BM_BatchCoinFill(benchmark::State& state) {
+  const size_t n = 100000;
+  std::vector<uint32_t> users(n);
+  for (size_t i = 0; i < n; ++i) users[i] = static_cast<uint32_t>(i);
+  std::vector<uint64_t> streams(n), firsts(n);
+  uint64_t round = 0;
+  for (auto _ : state) {
+    BatchStreamSeeds(users.data(), n, 7, round++, streams.data(),
+                     firsts.data());
+    benchmark::DoNotOptimize(firsts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BatchCoinFill);
+
+// What the batch layer replaced: one Rng construction + one draw per user.
+void BM_ScalarRngPerUser(benchmark::State& state) {
+  const size_t n = 100000;
+  std::vector<uint64_t> draws(n);
+  uint64_t round = 0;
+  for (auto _ : state) {
+    for (size_t u = 0; u < n; ++u) {
+      Rng rng(ExchangeStreamSeed(7, round, u));
+      draws[u] = rng.Next();
+    }
+    ++round;
+    benchmark::DoNotOptimize(draws.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ScalarRngPerUser);
+
+}  // namespace
+}  // namespace netshuffle
+
+int main(int argc, char** argv) {
+  netshuffle::SetThreadCount(1);  // kernel cost, not scheduling
+  return netshuffle::RunMicroSuite("micro_hop", "BM_HopScatterRegular/100000",
+                                   argc, argv);
+}

@@ -161,7 +161,7 @@ Status Session::Step(size_t k) {
   opts.seed = epoch_seed_;
   opts.faults = faults_;
   opts.metrics = metrics_;
-  state_ = ResumeExchange(graph_, std::move(state_), opts);
+  state_ = ResumeExchange(graph_, std::move(state_), opts, &exchange_ws_);
   // Publish AFTER the exchange lands: a reader that observes the new round
   // count may immediately certify a guarantee at it.
   sync_->progress.store(PackProgress(epoch_, state_.rounds),

@@ -454,6 +454,11 @@ class Session {
   bool rounds_fixed_ = false;
   /// The CURRENT epoch's exchange state, replaced wholesale by BeginEpoch.
   ExchangeResult state_;
+  /// Reusable engine scratch (shuffle/engine.h): Step passes this to
+  /// ResumeExchange so a serving loop stepping one round at a time stops
+  /// paying an O(shards * n) allocation per call.  Scratch only — reuse
+  /// across epochs and rewires cannot change results.
+  ExchangeWorkspace exchange_ws_;
   /// Serving epoch index mirrored into sync_->progress (mutator's copy).
   size_t epoch_ = 0;
   /// Engine/finalize seed of the current epoch: seed_ for epoch 0 (the

@@ -87,6 +87,62 @@ struct ExchangeResult {
   size_t rounds = 0;
 };
 
+class ExchangeWorkspace;
+
+ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
+                              const ExchangeOptions& options,
+                              ExchangeWorkspace* workspace);
+
+/// Reusable scratch for ResumeExchange (DESIGN.md §4e): the double-buffer
+/// partner store plus the per-round routing tables — destination/slot
+/// column, per-shard counting rows, the holder list the batched hop kernels
+/// iterate, per-shard coin/address tiles, per-shard traffic buffers.
+/// Hoisted out of the engine so a serving loop stepping one round at a time
+/// (Session::Step(1)) pays the O(shards * n) allocation once per session
+/// instead of once per call; buffer sizing is idempotent, so the steady
+/// state allocates nothing (pinned by an allocation-count regression test
+/// in tests/test_session_incremental.cc).
+///
+/// Purely scratch: no routing decision ever reads workspace contents from a
+/// previous round, so reusing one workspace across exchanges (or graphs of
+/// different sizes) cannot change results.  Not thread-safe — one workspace
+/// per concurrently executing exchange.
+class ExchangeWorkspace {
+ public:
+  ExchangeWorkspace() = default;
+  ExchangeWorkspace(const ExchangeWorkspace&) = delete;
+  ExchangeWorkspace& operator=(const ExchangeWorkspace&) = delete;
+  ExchangeWorkspace(ExchangeWorkspace&&) = default;
+  ExchangeWorkspace& operator=(ExchangeWorkspace&&) = default;
+
+  /// Heap footprint of the scratch buffers (benches report this; the
+  /// dominant terms are the ~8 B/user partner store, the 4 B/report
+  /// dest/slot column, and the 4 B/user counting row per shard).
+  size_t MemoryBytes() const;
+
+ private:
+  friend ExchangeResult ResumeExchange(const Graph&, ExchangeResult,
+                                       const ExchangeOptions&,
+                                       ExchangeWorkspace*);
+
+  ReportStore next_;              // double-buffer scatter partner
+  std::vector<uint32_t> dests_;   // per-slot destination, then claimed slot
+  std::vector<uint32_t> counts_;  // shards x n counting/cursor rows
+  std::vector<size_t> bounds_;    // shard user boundaries (shards + 1)
+  // The round's holder list: users holding >= 1 report (ascending) and
+  // where each one's arena run begins, plus a sentinel entry — the
+  // branch-free iteration structure of the batched hop (DESIGN.md §4e).
+  std::vector<uint32_t> holder_v_;     // holder user ids (n + 1)
+  std::vector<uint32_t> holder_b_;     // holder arena-run starts (n + 1)
+  std::vector<size_t> holder_start_;   // per-shard holder slices (shards + 1)
+  std::vector<std::vector<uint64_t>> coins_;  // per-shard coin tiles
+  std::vector<std::vector<const NodeId*>> addrs_;  // per-shard address tiles
+  std::vector<std::vector<uint64_t>> streams_;  // per-shard stream-seed tiles
+  std::vector<std::vector<uint64_t>> firsts_;   // per-shard first-word tiles
+  std::vector<std::vector<uint32_t>> multi_;    // per-shard multi-holder list
+  std::vector<std::vector<std::pair<NodeId, uint64_t>>> traffic_;
+};
+
 /// Typed pre-flight check for the exchange entry points below; they fatal on
 /// exactly the configurations this rejects.  Today that is the zero-round
 /// footgun (silently returning unshuffled holdings would certify privacy
@@ -114,6 +170,11 @@ ExchangeResult StartExchange(const Graph& g, PayloadArena payloads,
 /// one-shot RunExchange over the combined rounds.  Fatal on
 /// options.rounds == 0 and on a first_round/prior mismatch (a wrong offset
 /// would silently draw coins from the wrong per-round streams).
+///
+/// This overload allocates its scratch internally; incremental callers
+/// (Session::Step) pass a persistent ExchangeWorkspace to the 4-argument
+/// overload above so repeated short calls reuse the routing tables.
+/// Results are bit-identical either way.
 ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
                               const ExchangeOptions& options);
 

@@ -52,5 +52,85 @@ int main() {
   for (int i = 0; i < 200000; ++i) gauss.Add(r.Gaussian());
   CHECK_NEAR(gauss.mean(), 0.0, 0.02);
   CHECK_NEAR(gauss.variance(), 1.0, 0.05);
+
+  // ---- Batch layer (DESIGN.md §4e): every identity the batched exchange
+  // kernels rely on, pinned bit-exact against the sequential Rng path.
+
+  // Xoshiro256::Seeded + Next is exactly Rng's stream.
+  {
+    Rng seq(0xfeedULL);
+    Xoshiro256 x = Xoshiro256::Seeded(0xfeedULL);
+    for (int i = 0; i < 256; ++i) CHECK(seq.Next() == x.Next());
+  }
+
+  // Rng::FillRaw in arbitrary chunk sizes == the same stream drawn one
+  // Next() at a time (the fault path batches post-Awake draws through this).
+  {
+    Rng seq(99), chunked(99);
+    std::vector<uint64_t> expect(1000), got(1000);
+    for (auto& v : expect) v = seq.Next();
+    const size_t chunks[] = {1, 2, 3, 7, 64, 923};
+    size_t at = 0;
+    for (size_t c : chunks) {
+      chunked.FillRaw(got.data() + at, c);
+      at += c;
+    }
+    CHECK(at == got.size());
+    CHECK(expect == got);
+  }
+
+  // FillStreamRaw over a (seed, round, user) grid: bit-identical to a fresh
+  // per-user Rng drawing k words sequentially, for every batch length the
+  // hop kernel produces — the k == 1 FirstRawDraw fast path, small partial
+  // tails, and a tile-sized fill.
+  for (uint64_t seed : {1ULL, 2022ULL, 0xdeadbeefULL}) {
+    for (uint64_t round : {0ULL, 1ULL, 17ULL}) {
+      for (uint64_t user : {0ULL, 1ULL, 999ULL, 123456789ULL}) {
+        const uint64_t stream = ExchangeStreamSeed(seed, round, user);
+        CHECK(stream == HashCombine(seed, HashCombine(round, user)));
+        for (size_t k : {size_t{1}, size_t{2}, size_t{3}, size_t{9},
+                         size_t{4096}}) {
+          std::vector<uint64_t> batch(k);
+          FillStreamRaw(stream, batch.data(), k);
+          Rng ref(stream);
+          for (size_t i = 0; i < k; ++i) CHECK(batch[i] == ref.Next());
+        }
+        CHECK(FirstRawDraw(stream) == Rng(stream).Next());
+      }
+    }
+  }
+
+  // MapToBound == UniformInt draw-for-draw: feeding the raw words of a
+  // stream through MapToBound reproduces the bounded draws exactly, for
+  // degree-like bounds including 1 (always 0) and non-powers of two.
+  for (size_t bound : {size_t{1}, size_t{2}, size_t{3}, size_t{7}, size_t{8},
+                       size_t{20}, size_t{64}, size_t{1000003}}) {
+    Rng raw(4242), bounded(4242);
+    for (int i = 0; i < 200; ++i) {
+      CHECK(MapToBound(raw.Next(), bound) == bounded.UniformInt(bound));
+    }
+  }
+
+  // Power-of-two degeneration: for bound 2^k (k >= 1) the multiply-shift
+  // is exactly a right shift by 64 - k — the engine's pow2 degree class.
+  for (int k = 1; k <= 20; ++k) {
+    const size_t bound = size_t{1} << k;
+    Rng raw(31337);
+    for (int i = 0; i < 200; ++i) {
+      const uint64_t word = raw.Next();
+      CHECK(MapToBound(word, bound) == (word >> (64 - k)));
+    }
+  }
+
+  // SplitMix64Finalize jump: the finalizer at state + i*gamma is the i-th
+  // SplitMix64 word — the identity FirstRawDraw uses to read s[1] alone.
+  {
+    uint64_t sm = 777;
+    for (int i = 1; i <= 8; ++i) {
+      CHECK(SplitMix64(&sm) ==
+            SplitMix64Finalize(777 + static_cast<uint64_t>(i) *
+                                         kSplitMix64Gamma));
+    }
+  }
   return 0;
 }

@@ -3,8 +3,13 @@
 // equivalent one-shot engine run, for both reporting protocols, with
 // metrics, and at 1 vs 4 threads (the engine keys every coin on the
 // absolute round index; see shuffle/engine.h ExchangeOptions::first_round).
+// Also pins the ExchangeWorkspace reuse contract: steady-state Step(1)
+// calls allocate nothing (counted via a global operator new override).
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +24,31 @@
 #include "util/rng.h"
 
 using namespace netshuffle;
+
+namespace {
+
+// Heap instrumentation for the workspace-reuse regression test below: when
+// armed, every global allocation adds its size to the counter.  Relaxed
+// atomics — the counted region runs single-threaded and only totals matter.
+std::atomic<bool> g_count_allocs{false};
+std::atomic<size_t> g_alloc_bytes{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -131,10 +161,41 @@ void CheckIncrementalEqualsOneShot(const Graph& g,
   CheckSameInbox(single_steps.Finalize(), oneshot);
 }
 
+// The ISSUE-7 workspace bugfix: a serving loop stepping one round at a time
+// must not re-pay the O(shards * n) routing-table allocation every call —
+// Session keeps one ExchangeWorkspace and ResumeExchange sizes it
+// idempotently, so once the buffers have reached steady-state capacity a
+// Step(1) allocates (essentially) nothing.  Pin that with a byte counter on
+// global operator new: a regression back to per-call allocation costs
+// ~hundreds of KB per step at this n and trips the bound immediately.
+void CheckSteadyStateStepsAllocationFree() {
+  SetThreadCount(1);
+  Rng rng(77);
+  SessionConfig config;
+  config.SetGraph(MakeRandomRegular(20000, 8, &rng))
+      .SetProtocol(ReportingProtocol::kAll)
+      .SetRounds(64)
+      .SetSeed(5);
+  Expected<Session> created = Session::Create(std::move(config));
+  CHECK(created.ok());
+  Session session = std::move(created).value();
+
+  // Warm up until every workspace buffer (including the hop tiles, whose
+  // high-water mark depends on the holdings distribution) has settled.
+  for (int i = 0; i < 8; ++i) CHECK(session.Step(1).ok());
+
+  g_alloc_bytes.store(0);
+  g_count_allocs.store(true);
+  for (int i = 0; i < 4; ++i) CHECK(session.Step(1).ok());
+  g_count_allocs.store(false);
+  CHECK(g_alloc_bytes.load() < 4096);
+}
+
 }  // namespace
 
 int main() {
   const Graph g = TestGraph();
+  CheckSteadyStateStepsAllocationFree();
 
   // The thread count must not change a single bit of any of this (the CI
   // matrix additionally runs the whole suite under NS_THREADS=1 and 4).
