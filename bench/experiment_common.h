@@ -48,6 +48,23 @@ inline double EnvScale() {
   return v;
 }
 
+/// Peak resident set size of this process in MB, from /proc/self/status
+/// VmHWM (the kernel's high-water mark: what the box actually had to
+/// provide, which is the number the out-of-core tier is judged on).
+/// Returns a quiet NaN where /proc is unavailable — BenchRunner serializes
+/// that as null rather than a fake 0.
+inline double PeakRssMb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return std::nan("");
+  double kb = std::nan("");
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %lf kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb / 1024.0;
+}
+
 /// Thread override for the parallel hot paths — the sibling knob of
 /// NS_SCALE.  NS_THREADS=4 pins the pool width; unset or 0 means hardware
 /// concurrency; garbage is rejected with a warning (parsing lives in
@@ -67,10 +84,13 @@ inline size_t EnvThreads() { return EnvThreadCount(); }
 /// Schema (schema_version 2 added the version marker itself and the
 /// accountant name, so cross-PR tooling can refuse to compare apples to
 /// oranges; 3 added "completed"; 4 added the optional "latencies" object
-/// for serving-style harnesses that measure per-operation tails):
+/// for serving-style harnesses that measure per-operation tails; 5 added
+/// "peak_rss_mb" — the process high-water mark from /proc/self/status
+/// VmHWM, sampled at the final write — so the out-of-core storage tier's
+/// memory win is machine-checkable in every record):
 ///
 ///   {
-///     "schema_version": 4,
+///     "schema_version": 5,
 ///     "name": "fig4_privacy_rounds",      // harness name
 ///     "threads": 4,                       // effective NS_THREADS
 ///     "scale": 0.05,                      // effective NS_SCALE
@@ -79,6 +99,8 @@ inline size_t EnvThreads() { return EnvThreadCount(); }
 ///     "completed": true,                  // false = the harness died before
 ///                                         // its final write
 ///     "wall_seconds": 1.234567,           // whole-harness wall time
+///     "peak_rss_mb": 412.5,               // VmHWM at write time (null where
+///                                         // /proc is unavailable)
 ///     "headline": {"metric": "...", "value": ...},   // the one number to
 ///                                                    // track across PRs
 ///     "metrics": {"...": ..., ...},       // optional extras
@@ -165,7 +187,7 @@ class BenchRunner {
       return false;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema_version\": 4,\n");
+    std::fprintf(f, "  \"schema_version\": 5,\n");
     std::fprintf(f, "  \"name\": \"%s\",\n", name_.c_str());
     std::fprintf(f, "  \"threads\": %zu,\n", threads_);
     std::fprintf(f, "  \"scale\": %s,\n", Number(scale_).c_str());
@@ -173,6 +195,7 @@ class BenchRunner {
     std::fprintf(f, "  \"completed\": %s,\n", completed ? "true" : "false");
     std::fprintf(f, "  \"wall_seconds\": %s,\n",
                  Number(elapsed_seconds()).c_str());
+    std::fprintf(f, "  \"peak_rss_mb\": %s,\n", Number(PeakRssMb()).c_str());
     std::fprintf(f, "  \"headline\": {\"metric\": \"%s\", \"value\": %s},\n",
                  headline_metric_.c_str(), Number(headline_value_).c_str());
     std::fprintf(f, "  \"metrics\": {");

@@ -101,10 +101,49 @@ Status Session::Validate(const SessionConfig& config) {
 Expected<Session> Session::Create(SessionConfig config) {
   Status status = Validate(config);
   if (!status.ok()) return status;
-  return Session(std::move(config));
+
+  // Storage resolution (DESIGN.md §9).  Three cases:
+  //   - the configured payloads are already hosted: adopt their backend;
+  //   - kMmap requested: create a backend, then SPILL the configured
+  //     payloads (or a payload-free identity) into a hosted arena, so the
+  //     exchange's columns land on disk regardless of how the reports were
+  //     assembled;
+  //   - default: no backend, pure heap, zero new work.
+  // All directory/file failures surface here as typed kIoError.
+  std::shared_ptr<StorageBackend> backend;
+  if (config.has_payloads() && config.payloads().hosted()) {
+    backend = config.payloads().backend();
+  } else if (config.storage().kind == StorageBackendKind::kMmap) {
+    auto created = StorageBackend::Create(config.storage());
+    if (!created.ok()) return created.status();
+    backend = std::move(created).value();
+    auto hosted = PayloadArena::Hosted(backend);
+    if (!hosted.ok()) return hosted.status();
+    PayloadArena arena = std::move(hosted).value();
+    const size_t n = config.graph().num_nodes();
+    if (config.has_payloads()) {
+      // Report ids are preserved: report r of the spill is report r of the
+      // source, so the hosted session is bit-identical to the heap one.
+      const PayloadArena& src = config.payloads();
+      for (ReportId r = 0; r < static_cast<ReportId>(n); ++r) {
+        const PayloadSpan p = src.payload(r);
+        arena.Append(src.origin(r), p.data(), p.size());
+      }
+    } else {
+      // The identity arena of the payload-free path (origin(r) == r, zero
+      // bytes), streamed instead of heap-built.
+      for (size_t r = 0; r < n; ++r) {
+        arena.Append(static_cast<NodeId>(r), nullptr, 0);
+      }
+    }
+    const Status sealed = arena.Seal(n);
+    if (!sealed.ok()) return sealed;
+    config.SetPayloads(std::move(arena));
+  }
+  return Session(std::move(config), std::move(backend));
 }
 
-Session::Session(SessionConfig config)
+Session::Session(SessionConfig config, std::shared_ptr<StorageBackend> backend)
     : graph_(config.ReleaseGraph()),
       protocol_(config.protocol()),
       epsilon0_(config.epsilon0()),
@@ -117,6 +156,7 @@ Session::Session(SessionConfig config)
       metrics_(config.metrics()),
       allow_non_ergodic_(config.allow_non_ergodic()),
       require_mixed_rounds_(config.require_mixed_rounds()),
+      backend_(std::move(backend)),
       epoch_seed_(config.seed()),
       sync_(std::make_unique<Sync>()) {
   if (accountant_ == nullptr) {
@@ -141,7 +181,19 @@ Session::Session(SessionConfig config)
   state_ = config.has_payloads()
                ? StartExchange(graph_, config.ReleasePayloads(), metrics_)
                : StartExchange(graph_, metrics_);
+  pending_ = MakePendingArena();
 }
+
+PayloadArena Session::MakePendingArena() const {
+  if (backend_ == nullptr) return PayloadArena();
+  auto hosted = PayloadArena::Hosted(backend_);
+  if (!hosted.ok()) {
+    NETSHUFFLE_FATAL("Session pending arena: " + hosted.status().ToString());
+  }
+  return std::move(hosted).value();
+}
+
+void Session::DiscardPending() { pending_ = MakePendingArena(); }
 
 double Session::Gamma() const {
   return static_cast<double>(graph_.num_nodes()) *
@@ -216,9 +268,21 @@ Status Session::Ingest(NodeId origin, const uint8_t* data, size_t size) {
 
 Status Session::BeginEpoch() {
   MutationScope scope(sync_.get(), "Session::BeginEpoch");
-  // Seal first: on a short epoch or a duplicate origin this returns the
+  // File-backed sessions create the NEXT epoch's pending stream before
+  // anything is mutated, so a kIoError here (disk gone between epochs)
+  // leaves the session fully consistent: the current epoch keeps serving
+  // and the un-sealed pending arena keeps ingesting.
+  PayloadArena next_pending;
+  if (backend_ != nullptr) {
+    auto hosted = PayloadArena::Hosted(backend_);
+    if (!hosted.ok()) return hosted.status();
+    next_pending = std::move(hosted).value();
+  }
+  // Seal next: on a short epoch or a duplicate origin this returns the
   // typed kPayloadMismatch and the epoch does NOT roll — the pending arena
   // stays mutable (short epochs keep ingesting; duplicates DiscardPending).
+  // Hosted arenas surface column-map failures here as kIoError, likewise
+  // without rolling.
   const Status sealed = pending_.Seal(graph_.num_nodes());
   if (!sealed.ok()) return sealed;
 
@@ -234,7 +298,7 @@ Status Session::BeginEpoch() {
   // the one-shot path is bit-identical to the pre-epoch engine.
   epoch_seed_ = HashCombine(seed_, static_cast<uint64_t>(epoch_));
   state_ = StartExchange(graph_, std::move(pending_), metrics_);
-  pending_ = PayloadArena();
+  pending_ = std::move(next_pending);
   sync_->progress.store(PackProgress(epoch_, 0), std::memory_order_release);
   return Status::Ok();
 }

@@ -49,6 +49,7 @@
 #include "core/status.h"
 #include "dp/mechanism.h"
 #include "graph/graph.h"
+#include "shuffle/backend.h"
 #include "shuffle/engine.h"
 #include "shuffle/payload.h"
 #include "shuffle/protocol.h"
@@ -106,6 +107,18 @@ class SessionConfig {
   /// arena (origin(r) == r, zero payload bytes) — a routing-only exchange.
   SessionConfig& SetPayloads(PayloadArena payloads) {
     payloads_ = std::move(payloads);
+    return *this;
+  }
+
+  /// Where the session's columnar state lives (DESIGN.md §9).  The default
+  /// kInRam is today's heap behavior at zero cost.  kMmap puts the payload
+  /// columns and the double-buffered routing columns in mmap'd files under
+  /// a private tmpdir (removed when the session — and anything sharing its
+  /// arenas, e.g. a ProtocolResult — is destroyed), so n = 10^7-10^8
+  /// exchanges run in a RAM budget sized for the graph and scratch, not the
+  /// population.  Create surfaces directory/file failures as kIoError.
+  SessionConfig& SetStorage(StorageBackendConfig storage) {
+    storage_ = std::move(storage);
     return *this;
   }
 
@@ -177,10 +190,12 @@ class SessionConfig {
   ShuffleMetrics* metrics() const { return metrics_; }
   bool allow_non_ergodic() const { return allow_non_ergodic_; }
   bool require_mixed_rounds() const { return require_mixed_rounds_; }
+  const StorageBackendConfig& storage() const { return storage_; }
 
  private:
   Graph graph_;
   std::optional<PayloadArena> payloads_;
+  StorageBackendConfig storage_;
   ReportingProtocol protocol_ = ReportingProtocol::kAll;
   size_t rounds_ = 0;
   double epsilon0_ = 1.0;
@@ -263,6 +278,12 @@ class Session {
   /// The immutable origin/payload columns the session's routed ids index
   /// into (also shared into every Finalize result).
   const PayloadArena& payloads() const { return *state_.payloads; }
+  /// The session's storage backend, or nullptr for the in-RAM default.
+  /// Benches read its StorageIoStats for bytes-moved/user and read-
+  /// amplification reporting; dir() names the tmpdir holding the column
+  /// files (removed when the last owner — session, in-flight results —
+  /// goes away).
+  const StorageBackend* storage_backend() const { return backend_.get(); }
   double epsilon0() const { return epsilon0_; }
   const std::string& mechanism_name() const { return mechanism_name_; }
   ReportingProtocol protocol() const { return protocol_; }
@@ -329,8 +350,9 @@ class Session {
   /// Reports ingested toward the next epoch so far.
   size_t pending_reports() const { return pending_.num_reports(); }
   /// Drops all pending ingest (e.g. after a duplicate-origin seal failure,
-  /// which appends cannot repair) and starts the next epoch's arena empty.
-  void DiscardPending() { pending_ = PayloadArena(); }
+  /// which appends cannot repair) and starts the next epoch's arena empty
+  /// (file-backed on the session's backend when one is configured).
+  void DiscardPending();
 
   /// Seals the pending arena (one report per user — typed kPayloadMismatch
   /// otherwise, leaving the arena mutable so a short epoch can keep
@@ -392,7 +414,13 @@ class Session {
   }
 
  private:
-  explicit Session(SessionConfig config);
+  Session(SessionConfig config, std::shared_ptr<StorageBackend> backend);
+
+  /// A fresh pending arena: heap, or hosted on the session's backend.
+  /// Stream-file creation on an established backend failing (disk gone
+  /// mid-serve) is fatal here; the typed creation-time surface is Create /
+  /// BeginEpoch.
+  PayloadArena MakePendingArena() const;
 
   AccountingContext ContextAt(size_t rounds, double epsilon0) const;
 
@@ -446,6 +474,12 @@ class Session {
   ShuffleMetrics* metrics_ = nullptr;
   bool allow_non_ergodic_ = false;
   bool require_mixed_rounds_ = false;
+
+  /// Non-null iff the session's columns are file-backed (DESIGN.md §9).
+  /// Shared with every hosted arena/store, so the tmpdir outlives any
+  /// result still referencing the column files and is removed with the
+  /// last reference.
+  std::shared_ptr<StorageBackend> backend_;
 
   double gap_ = 0.0;
   double stationary_sum_squares_ = 0.0;

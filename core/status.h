@@ -49,6 +49,11 @@ enum class StatusCode {
   /// count (the protocol injects exactly one report per user) or an origin
   /// outside the user population.
   kPayloadMismatch,
+  /// A storage-backend I/O operation failed: the backing directory cannot
+  /// be created, a column file cannot be opened/grown, or an mmap target is
+  /// missing/unreadable/shorter than its column requires
+  /// (shuffle/backend.h).
+  kIoError,
   /// Anything else (bad accountant parameters, ...).
   kInvalidArgument,
 };
@@ -68,6 +73,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kEdgeEndpointOutOfRange:
       return "kEdgeEndpointOutOfRange";
     case StatusCode::kPayloadMismatch: return "kPayloadMismatch";
+    case StatusCode::kIoError: return "kIoError";
     case StatusCode::kInvalidArgument: return "kInvalidArgument";
   }
   return "kUnknown";

@@ -338,6 +338,12 @@ ExchangeResult StartExchange(const Graph& g, PayloadArena payloads,
 
   ExchangeResult result;
   ReportStore& store = result.holdings;
+  // A file-backed arena puts the routing columns on the same backend: the
+  // exchange over 10^7+ users keeps RAM for the graph and scratch, not the
+  // population's state (DESIGN.md §9).
+  if (std::shared_ptr<StorageBackend> backend = payloads.backend()) {
+    store.Host(backend, "route");
+  }
   store.AllocateFor(n, n);
   // Counting-sort injection: holdings[u] = ids with origin u, ascending.
   uint32_t* offsets = store.mutable_offsets();
@@ -406,6 +412,19 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
 
   ReportStore& store = result.holdings;
   const size_t total = store.num_reports();
+
+  // Keep the double-buffer partner on the live store's backend (both
+  // directions: a reused workspace may arrive heap-backed for a hosted
+  // exchange, or hosted — possibly on a DIFFERENT backend — for a heap or
+  // re-hosted one).  Matched states cost one branch, so the in-RAM steady
+  // state stays allocation-free.
+  if (workspace->next_.hosted() &&
+      workspace->next_.backend() != store.backend()) {
+    workspace->next_.Unhost();
+  }
+  if (store.hosted() && !workspace->next_.hosted()) {
+    workspace->next_.Host(store.backend(), "route");
+  }
 
   // Users are sharded into contiguous ranges, one shard per pool slot.  The
   // shard count only affects scheduling: every RNG draw comes from a
@@ -498,6 +517,16 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
           holder_v;
     }
 
+    // Out-of-core schedule (DESIGN.md §9): prefault each shard's source
+    // slice before the hop walks it, one madvise(WILLNEED) per shard slice,
+    // recorded in the backend's per-block touch accounting.  Heap stores:
+    // one branch, nothing else.
+    if (store.hosted()) {
+      for (size_t c = 0; c < shards; ++c) {
+        store.AdviseWillNeed(offsets[bounds[c]], offsets[bounds[c + 1]]);
+      }
+    }
+
     // Hop phase (parallel over source shards): batched coin fill, degree-
     // class address mapping, and per-shard destination histograms — see
     // HopShard above and DESIGN.md §4e.
@@ -548,6 +577,12 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
     });
     store.SwapWith(&ws.next_);
     num_holders = next_holders;
+
+    // ws.next_ now holds the round's consumed source buffer; every byte of
+    // it is rewritten before it is read again, so a file-backed buffer can
+    // drop its resident pages entirely (MAP_SHARED: the kernel keeps the
+    // data, only this process's RSS falls).
+    if (ws.next_.hosted()) ws.next_.AdviseDontNeedAll();
 
     // Metrics merge, on the coordinating thread, in shard order.
     if (options.metrics != nullptr) {

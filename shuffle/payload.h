@@ -8,6 +8,14 @@
 // offset column, one contiguous byte buffer.  Populated once at injection
 // (Append* then Freeze), read back only at finalize / curator-side
 // aggregation.
+//
+// Storage seam (DESIGN.md §9): a HOSTED arena (PayloadArena::Hosted) keeps
+// the same three columns as streamed files on a StorageBackend — appends go
+// through buffered write(2) so the population's payload bytes are never
+// resident, and Freeze/Seal map the files read-only.  Because the arena
+// must stay copyable (SessionConfig is a copyable builder), the hosted
+// state lives behind a shared PayloadStream: copies of a hosted arena are
+// views of one backing stream, consistent with the write-once contract.
 
 #ifndef NETSHUFFLE_SHUFFLE_PAYLOAD_H_
 #define NETSHUFFLE_SHUFFLE_PAYLOAD_H_
@@ -15,10 +23,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/status.h"
+#include "shuffle/backend.h"
 #include "shuffle/protocol.h"
 
 namespace netshuffle {
@@ -59,8 +70,29 @@ class PayloadArena {
     return arena;
   }
 
-  /// Optional pre-sizing for bulk injection.
+  /// File-backed arena on `backend` (DESIGN.md §9): appends stream to disk,
+  /// Freeze/Seal map the columns read-only.  kIoError if the stream files
+  /// cannot be created.
+  static Expected<PayloadArena> Hosted(
+      std::shared_ptr<StorageBackend> backend) {
+    auto stream = PayloadStream::Create(std::move(backend));
+    if (!stream.ok()) return stream.status();
+    PayloadArena arena;
+    arena.hosted_ = std::move(stream).value();
+    return arena;
+  }
+
+  bool hosted() const { return hosted_ != nullptr; }
+  /// The hosting backend (null for a heap arena) — the engine derives the
+  /// routing columns' hosting from this.
+  std::shared_ptr<StorageBackend> backend() const {
+    return hosted_ ? hosted_->backend() : nullptr;
+  }
+
+  /// Optional pre-sizing for bulk injection (heap arenas; a hosted arena
+  /// streams and has nothing to pre-size).
   void Reserve(size_t reports, size_t total_bytes) {
+    if (hosted_) return;
     origins_.reserve(reports);
     offsets_.reserve(reports + 1);
     bytes_.reserve(total_bytes);
@@ -71,9 +103,15 @@ class PayloadArena {
   /// overflow (payload bytes must fit the uint32 offset column).
   ReportId Append(NodeId origin, const uint8_t* data, size_t size) {
     RequireMutable("Append");
+    if (hosted_) {
+      const ReportId id =
+          CheckedNarrow32(hosted_->num_reports(), "report count");
+      hosted_->Append(origin, data, size);
+      return id;
+    }
     const ReportId id = CheckedNarrow32(origins_.size(), "report count");
     origins_.push_back(origin);
-    bytes_.insert(bytes_.end(), data, data + size);
+    if (size > 0) bytes_.insert(bytes_.end(), data, data + size);
     offsets_.push_back(CheckedNarrow32(bytes_.size(), "total payload bytes"));
     return id;
   }
@@ -105,8 +143,18 @@ class PayloadArena {
 
   /// Seals the arena: further appends are fatal.  Injection
   /// (StartExchange) freezes unconditionally, so the routed ids always
-  /// reference immutable rows.
-  void Freeze() { frozen_ = true; }
+  /// reference immutable rows.  Hosted arenas map their column files
+  /// read-only here; a map failure at this point (mid-injection, no caller
+  /// that can recover) is fatal — the typed-error seal point is Seal().
+  void Freeze() {
+    if (hosted_) {
+      const Status mapped = hosted_->EnsureMapped();
+      if (!mapped.ok()) {
+        NETSHUFFLE_FATAL("PayloadArena::Freeze: " + mapped.ToString());
+      }
+    }
+    frozen_ = true;
+  }
   bool frozen() const { return frozen_; }
 
   /// The one-report-per-user protocol invariant, checked without freezing:
@@ -118,16 +166,21 @@ class PayloadArena {
   /// Session::Validate applies it to config-supplied arenas; Seal applies
   /// it to each serving epoch's streamed ingest.
   Status ValidateOnePerUser(size_t num_users) const {
-    if (origins_.size() != num_users) {
+    if (hosted_) {
+      const Status mapped = hosted_->EnsureMapped();
+      if (!mapped.ok()) return mapped;
+    }
+    if (num_reports() != num_users) {
       return Status::Error(
           StatusCode::kPayloadMismatch,
-          "the payload arena holds " + std::to_string(origins_.size()) +
+          "the payload arena holds " + std::to_string(num_reports()) +
               " reports for " + std::to_string(num_users) +
               " users; the protocol injects exactly one report per user");
     }
+    const NodeId* origins = hosted_ ? hosted_->origins() : origins_.data();
     std::vector<bool> seen(num_users, false);
     for (ReportId r = 0; r < static_cast<ReportId>(num_users); ++r) {
-      const NodeId o = origins_[r];
+      const NodeId o = origins[r];
       if (static_cast<size_t>(o) >= num_users) {
         return Status::Error(
             StatusCode::kPayloadMismatch,
@@ -151,6 +204,8 @@ class PayloadArena {
   /// freezes the arena.  On violation the arena stays MUTABLE, so a
   /// streaming producer can append the missing reports and re-seal (a
   /// duplicated origin, however, cannot be retracted — discard the arena).
+  /// Hosted arenas surface map failures here as kIoError, also without
+  /// freezing — the stream stays appendable and a later re-Seal retries.
   Status Seal(size_t num_users) {
     const Status status = ValidateOnePerUser(num_users);
     if (status.ok()) frozen_ = true;
@@ -159,21 +214,38 @@ class PayloadArena {
 
   // ---- Read side -----------------------------------------------------------
 
-  size_t num_reports() const { return origins_.size(); }
-  size_t total_payload_bytes() const { return bytes_.size(); }
+  size_t num_reports() const {
+    return hosted_ ? hosted_->num_reports() : origins_.size();
+  }
+  size_t total_payload_bytes() const {
+    return hosted_ ? hosted_->total_bytes() : bytes_.size();
+  }
 
   NodeId origin(ReportId r) const {
     BoundsCheck(r, "origin");
+    if (hosted_) return Mapped("origin")->origins()[r];
     return origins_[r];
   }
   PayloadSpan payload(ReportId r) const {
     BoundsCheck(r, "payload");
-    return PayloadSpan(bytes_.data() + offsets_[r],
-                       offsets_[r + 1] - offsets_[r]);
+    const uint32_t* offsets;
+    const uint8_t* base;
+    if (hosted_) {
+      const PayloadStream* stream = Mapped("payload");
+      offsets = stream->offsets();
+      base = stream->bytes();
+    } else {
+      offsets = offsets_.data();
+      base = bytes_.data();
+    }
+    const size_t size = offsets[r + 1] - offsets[r];
+    return PayloadSpan(size == 0 ? nullptr : base + offsets[r], size);
   }
   size_t payload_size(ReportId r) const {
     BoundsCheck(r, "payload_size");
-    return offsets_[r + 1] - offsets_[r];
+    const uint32_t* offsets =
+        hosted_ ? Mapped("payload_size")->offsets() : offsets_.data();
+    return offsets[r + 1] - offsets[r];
   }
 
   // ---- Typed decodes (size-checked, fatal on kind mismatch) ----------------
@@ -206,12 +278,30 @@ class PayloadArena {
 
   /// Heap footprint: 4 B origin + 4 B offset + payload bytes per report,
   /// allocated once and never touched by the per-round routing passes.
+  /// Hosted arenas report only their stream buffers (~2 MB) — the column
+  /// bytes are on disk, reported by DiskBytes().
   size_t MemoryBytes() const {
+    if (hosted_) return hosted_->HeapBytes();
     return origins_.capacity() * sizeof(NodeId) +
            offsets_.capacity() * sizeof(uint32_t) + bytes_.capacity();
   }
+  /// Backing-file footprint when hosted (0 for a heap arena).
+  size_t DiskBytes() const { return hosted_ ? hosted_->DiskBytes() : 0; }
 
  private:
+  /// Read-side access to a hosted arena maps lazily: a read between Append
+  /// and Seal flushes + maps, and a later Append drops the mappings and
+  /// keeps streaming.  A map failure on a read path has no recovering
+  /// caller, so it is fatal (the typed surface is Seal / ValidateOnePerUser).
+  const PayloadStream* Mapped(const char* op) const {
+    const Status mapped = hosted_->EnsureMapped();
+    if (!mapped.ok()) {
+      NETSHUFFLE_FATAL(std::string("PayloadArena::") + op + ": " +
+                       mapped.ToString());
+    }
+    return hosted_.get();
+  }
+
   void RequireMutable(const char* op) const {
     if (frozen_) {
       NETSHUFFLE_FATAL(std::string("PayloadArena::") + op +
@@ -220,10 +310,10 @@ class PayloadArena {
     }
   }
   void BoundsCheck(ReportId r, const char* op) const {
-    if (static_cast<size_t>(r) >= origins_.size()) {
+    if (static_cast<size_t>(r) >= num_reports()) {
       NETSHUFFLE_FATAL(std::string("PayloadArena::") + op + "(" +
                        std::to_string(r) + "): arena holds " +
-                       std::to_string(origins_.size()) + " reports");
+                       std::to_string(num_reports()) + " reports");
     }
   }
   PayloadSpan Checked(ReportId r, size_t expected, const char* op) const {
@@ -240,6 +330,9 @@ class PayloadArena {
   std::vector<NodeId> origins_;    // origins_[r]: who injected report r
   std::vector<uint32_t> offsets_;  // num_reports() + 1 byte offsets
   std::vector<uint8_t> bytes_;     // one contiguous payload buffer
+  /// Non-null iff file-backed: the three columns above as streamed files
+  /// (the heap vectors stay empty).  Shared so the arena remains copyable.
+  std::shared_ptr<PayloadStream> hosted_;
   bool frozen_ = false;
 };
 

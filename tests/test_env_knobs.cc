@@ -1,10 +1,11 @@
-// Parsing of the harness environment knobs: NS_THREADS (thread pool width)
-// and NS_SCALE (dataset scale).  Warnings go to stderr; the parsed value is
-// what matters here.
+// Parsing of the harness environment knobs: NS_THREADS (thread pool width),
+// NS_SCALE (dataset scale), and NS_BACKEND (storage tier).  Warnings go to
+// stderr; the parsed value is what matters here.
 
 #include <cstdlib>
 
 #include "bench/experiment_common.h"
+#include "shuffle/backend.h"
 #include "tests/test_util.h"
 #include "util/parallel.h"
 
@@ -28,6 +29,15 @@ double ScaleWith(const char* value) {
     setenv("NS_SCALE", value, 1);
   }
   return EnvScale();
+}
+
+StorageBackendKind BackendWith(const char* value) {
+  if (value == nullptr) {
+    unsetenv("NS_BACKEND");
+  } else {
+    setenv("NS_BACKEND", value, 1);
+  }
+  return EnvBackendKind();
 }
 
 }  // namespace
@@ -76,5 +86,15 @@ int main() {
   CHECK(ScaleWith("0.5x") == 1.0);
   CHECK(ScaleWith("2000") == 1.0);  // over the 1e3 cap
   unsetenv("NS_SCALE");
+
+  // NS_BACKEND: unset / empty / "ram" mean the heap default, "mmap" selects
+  // the file-backed tier, garbage warns and falls back to the default.
+  CHECK(BackendWith(nullptr) == StorageBackendKind::kInRam);
+  CHECK(BackendWith("") == StorageBackendKind::kInRam);
+  CHECK(BackendWith("ram") == StorageBackendKind::kInRam);
+  CHECK(BackendWith("mmap") == StorageBackendKind::kMmap);
+  CHECK(BackendWith("MMAP") == StorageBackendKind::kInRam);  // exact match
+  CHECK(BackendWith("disk") == StorageBackendKind::kInRam);
+  unsetenv("NS_BACKEND");
   return 0;
 }

@@ -8,18 +8,22 @@
 // schedule (routing whole structs with variable-length payload bytes) lives
 // in this test and is compared element-by-element against the id-routed
 // engine at NS_THREADS 1 and 4 (and a resumed Start/Resume split), with and
-// without faults.
+// without faults — under BOTH storage backends (DESIGN.md §9): the heap
+// default and the file-backed mmap tier, whose mapped columns must be
+// bit-identical to the in-RAM run at every thread count.
 //
 // Also: ReportStore unit checks, and an NS_SCALE-gated 10^6-node smoke test
 // pinning the routing buffers' per-user memory bound (~8 bytes/user since
 // ids replaced 16-byte structs).
 
 #include <cstdlib>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "bench/experiment_common.h"
 #include "graph/generators.h"
+#include "shuffle/backend.h"
 #include "shuffle/engine.h"
 #include "shuffle/fault.h"
 #include "shuffle/payload.h"
@@ -49,8 +53,16 @@ Bytes PatternPayload(NodeId u) {
   return b;
 }
 
-PayloadArena PatternArena(size_t n) {
+// A heap arena, or a file-backed one streaming onto `backend` (the backend
+// axis: same pattern rows, different storage tier).
+PayloadArena PatternArena(size_t n,
+                          const std::shared_ptr<StorageBackend>& backend) {
   PayloadArena arena;
+  if (backend != nullptr) {
+    Expected<PayloadArena> hosted = PayloadArena::Hosted(backend);
+    CHECK(hosted.ok());
+    arena = std::move(hosted).value();
+  }
   for (NodeId u = 0; u < n; ++u) {
     const Bytes payload = PatternPayload(u);
     CHECK(arena.Append(u, payload) == u);
@@ -114,28 +126,36 @@ void CheckElementIdentical(const ExchangeResult& ex,
 }
 
 void CheckEquivalence(const Graph& g, size_t rounds, uint64_t seed,
-                      const FaultModel* faults) {
+                      const FaultModel* faults,
+                      const std::shared_ptr<StorageBackend>& mmap_backend) {
   const auto legacy = LegacyExchange(g, rounds, seed, faults);
-  for (size_t threads : {size_t{1}, size_t{4}}) {
-    SetThreadCount(threads);
-    ExchangeOptions opts;
-    opts.rounds = rounds;
-    opts.seed = seed;
-    opts.faults = faults;
-    ExchangeResult whole = ResumeExchange(
-        g, StartExchange(g, PatternArena(g.num_nodes())), opts);
-    CheckElementIdentical(whole, legacy);
+  // Backend axis: the file-backed tier must route to the same slots as the
+  // heap tier — the kernels see raw pointers either way.
+  for (const std::shared_ptr<StorageBackend>& backend :
+       {std::shared_ptr<StorageBackend>(), mmap_backend}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      SetThreadCount(threads);
+      ExchangeOptions opts;
+      opts.rounds = rounds;
+      opts.seed = seed;
+      opts.faults = faults;
+      ExchangeResult whole = ResumeExchange(
+          g, StartExchange(g, PatternArena(g.num_nodes(), backend)), opts);
+      CHECK(whole.holdings.hosted() == (backend != nullptr));
+      CheckElementIdentical(whole, legacy);
 
-    // A resumed split must replay the identical coin schedule.
-    ExchangeResult split = StartExchange(g, PatternArena(g.num_nodes()));
-    ExchangeOptions first = opts;
-    first.rounds = rounds / 2 + 1;
-    split = ResumeExchange(g, std::move(split), first);
-    ExchangeOptions rest = opts;
-    rest.rounds = rounds - first.rounds;
-    rest.first_round = first.rounds;
-    if (rest.rounds > 0) split = ResumeExchange(g, std::move(split), rest);
-    CheckElementIdentical(split, legacy);
+      // A resumed split must replay the identical coin schedule.
+      ExchangeResult split =
+          StartExchange(g, PatternArena(g.num_nodes(), backend));
+      ExchangeOptions first = opts;
+      first.rounds = rounds / 2 + 1;
+      split = ResumeExchange(g, std::move(split), first);
+      ExchangeOptions rest = opts;
+      rest.rounds = rounds - first.rounds;
+      rest.first_round = first.rounds;
+      if (rest.rounds > 0) split = ResumeExchange(g, std::move(split), rest);
+      CheckElementIdentical(split, legacy);
+    }
   }
   SetThreadCount(0);
 }
@@ -189,10 +209,17 @@ int main() {
                            {5, 3}});
   const LazyFaultModel lazy(0.4);
 
+  // One shared backend for every mmap-axis exchange; its tmpdir (and every
+  // column file in it) must be gone once the last reference drops.
+  Expected<std::shared_ptr<StorageBackend>> backend =
+      StorageBackend::Create(StorageBackendConfig{});
+  CHECK(backend.ok());
+
   for (const Graph* g : {&regular, &skewed, &with_isolated}) {
-    CheckEquivalence(*g, /*rounds=*/13, /*seed=*/2022, nullptr);
-    CheckEquivalence(*g, /*rounds=*/13, /*seed=*/2022, &lazy);
-    CheckEquivalence(*g, /*rounds=*/1, /*seed=*/5, nullptr);
+    CheckEquivalence(*g, /*rounds=*/13, /*seed=*/2022, nullptr,
+                     backend.value());
+    CheckEquivalence(*g, /*rounds=*/13, /*seed=*/2022, &lazy, backend.value());
+    CheckEquivalence(*g, /*rounds=*/1, /*seed=*/5, nullptr, backend.value());
   }
 
   // ---- 10^6-node arena smoke (NS_SCALE-gated) -----------------------------

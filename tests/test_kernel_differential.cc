@@ -17,16 +17,22 @@
 //   - fault schedules (LazyFaultModel: Awake consumes stream draws) and
 //     fault-free runs (the batched FirstRawDraw/FillStreamRaw fast path),
 //
-// at NS_THREADS 1/2/4, stepped round-by-round through ONE persistent
-// ExchangeWorkspace reused across every shape and thread count (stale
-// scratch from a previous, differently-sized exchange must be invisible),
-// plus a whole-run one-shot comparison through the workspace-free overload.
+// at NS_THREADS 1/2/4 and under BOTH storage backends (heap and the
+// file-backed mmap tier, DESIGN.md §9 — the kernels must be bit-identical
+// over mapped memory), stepped round-by-round through ONE persistent
+// ExchangeWorkspace reused across every shape, thread count, AND backend
+// (stale scratch from a previous, differently-sized or differently-hosted
+// exchange must be invisible; crossing backends exercises the workspace's
+// Unhost/Host re-matching in ResumeExchange), plus a whole-run one-shot
+// comparison through the workspace-free overload.
 
 #include <cstdio>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "graph/generators.h"
+#include "shuffle/backend.h"
 #include "shuffle/engine.h"
 #include "shuffle/fault.h"
 #include "shuffle/payload.h"
@@ -49,8 +55,17 @@ Bytes PatternPayload(NodeId u) {
   return b;
 }
 
-PayloadArena PatternArena(size_t n) {
+// The backend under test for the current axis iteration: null = heap,
+// non-null = file-backed on that backend (tests/test_flat_store.cc uses the
+// same convention).
+PayloadArena PatternArena(size_t n,
+                          const std::shared_ptr<StorageBackend>& backend) {
   PayloadArena arena;
+  if (backend != nullptr) {
+    Expected<PayloadArena> hosted = PayloadArena::Hosted(backend);
+    CHECK(hosted.ok());
+    arena = std::move(hosted).value();
+  }
   for (NodeId u = 0; u < n; ++u) {
     CHECK(arena.Append(u, PatternPayload(u)) == u);
   }
@@ -112,31 +127,40 @@ void CheckIdentical(const ExchangeResult& ex,
 // element identity after every round, then replay the whole run one-shot
 // through the workspace-free overload and check the final state again.
 void RunCase(const char* name, const Graph& g, size_t rounds, uint64_t seed,
-             const FaultModel* faults, ExchangeWorkspace* ws) {
+             const FaultModel* faults, ExchangeWorkspace* ws,
+             const std::shared_ptr<StorageBackend>& mmap_backend) {
   const size_t n = g.num_nodes();
-  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
-    SetThreadCount(threads);
-    std::vector<std::vector<ReportId>> ref = ReferenceInit(n);
-    ExchangeResult state = StartExchange(g, PatternArena(n));
-    CheckIdentical(state, ref);
-    for (size_t r = 0; r < rounds; ++r) {
-      ExchangeOptions step;
-      step.rounds = 1;
-      step.first_round = r;
-      step.seed = seed;
-      step.faults = faults;
-      state = ResumeExchange(g, std::move(state), step, ws);
-      ReferenceRound(g, r, seed, faults, &ref);
+  // Backend axis outside the thread axis: the SHARED workspace crosses from
+  // heap-hosted state to file-hosted state (and back, on the next case), so
+  // ResumeExchange's backend re-matching of the reused partner store runs
+  // on every transition.
+  for (const std::shared_ptr<StorageBackend>& backend :
+       {std::shared_ptr<StorageBackend>(), mmap_backend}) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      SetThreadCount(threads);
+      std::vector<std::vector<ReportId>> ref = ReferenceInit(n);
+      ExchangeResult state = StartExchange(g, PatternArena(n, backend));
+      CHECK(state.holdings.hosted() == (backend != nullptr));
       CheckIdentical(state, ref);
-    }
+      for (size_t r = 0; r < rounds; ++r) {
+        ExchangeOptions step;
+        step.rounds = 1;
+        step.first_round = r;
+        step.seed = seed;
+        step.faults = faults;
+        state = ResumeExchange(g, std::move(state), step, ws);
+        ReferenceRound(g, r, seed, faults, &ref);
+        CheckIdentical(state, ref);
+      }
 
-    ExchangeOptions whole;
-    whole.rounds = rounds;
-    whole.seed = seed;
-    whole.faults = faults;
-    ExchangeResult oneshot =
-        ResumeExchange(g, StartExchange(g, PatternArena(n)), whole);
-    CheckIdentical(oneshot, ref);
+      ExchangeOptions whole;
+      whole.rounds = rounds;
+      whole.seed = seed;
+      whole.faults = faults;
+      ExchangeResult oneshot =
+          ResumeExchange(g, StartExchange(g, PatternArena(n, backend)), whole);
+      CheckIdentical(oneshot, ref);
+    }
   }
   SetThreadCount(0);
   std::printf("ok: %-28s n=%zu rounds=%zu faults=%s\n", name, n, rounds,
@@ -156,6 +180,12 @@ int main() {
   // different graph size, thread count, and fault mode, so any read of
   // stale scratch would show up as a differential failure.
   ExchangeWorkspace ws;
+  // One shared backend for every mmap-axis run; every hosted column file
+  // lives (and dies) in its tmpdir.
+  Expected<std::shared_ptr<StorageBackend>> be =
+      StorageBackend::Create(StorageBackendConfig{});
+  CHECK(be.ok());
+  const std::shared_ptr<StorageBackend>& backend = be.value();
   const LazyFaultModel lazy(0.3);
   Rng meta(20220607);
 
@@ -167,8 +197,8 @@ int main() {
     Rng gen(meta.Next());
     const Graph g = MakeRandomRegular(n % 2 == 0 ? n : n + 1, k, &gen);
     const uint64_t seed = meta.Next();
-    RunCase("k-regular", g, /*rounds=*/8, seed, nullptr, &ws);
-    RunCase("k-regular", g, /*rounds=*/8, seed, &lazy, &ws);
+    RunCase("k-regular", g, /*rounds=*/8, seed, nullptr, &ws, backend);
+    RunCase("k-regular", g, /*rounds=*/8, seed, &lazy, &ws, backend);
   }
 
   // Barabasi-Albert power-law tails: mixed degrees per round, hubs holding
@@ -178,22 +208,22 @@ int main() {
     const size_t n = 50 + meta.UniformInt(250);
     const Graph g = MakeBarabasiAlbert(n < m + 2 ? m + 2 : n, m, &gen);
     const uint64_t seed = meta.Next();
-    RunCase("barabasi-albert", g, /*rounds=*/8, seed, nullptr, &ws);
-    RunCase("barabasi-albert", g, /*rounds=*/8, seed, &lazy, &ws);
+    RunCase("barabasi-albert", g, /*rounds=*/8, seed, nullptr, &ws, backend);
+    RunCase("barabasi-albert", g, /*rounds=*/8, seed, &lazy, &ws, backend);
   }
 
   // Isolated users (deg == 0 keep-in-place) mixed with a routed component.
   {
     const Graph g = Graph::FromEdges(
         11, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}, {8, 9}});
-    RunCase("with-isolated", g, /*rounds=*/10, meta.Next(), nullptr, &ws);
-    RunCase("with-isolated", g, /*rounds=*/10, meta.Next(), &lazy, &ws);
+    RunCase("with-isolated", g, /*rounds=*/10, meta.Next(), nullptr, &ws, backend);
+    RunCase("with-isolated", g, /*rounds=*/10, meta.Next(), &lazy, &ws, backend);
   }
 
   // Single isolated user: the smallest exchange there is.
   {
     const Graph g = Graph::FromEdges(1, {});
-    RunCase("single-user", g, /*rounds=*/5, meta.Next(), nullptr, &ws);
+    RunCase("single-user", g, /*rounds=*/5, meta.Next(), nullptr, &ws, backend);
   }
 
   // 6000-leaf star: after one round the hub holds ~n reports — far past one
@@ -201,8 +231,8 @@ int main() {
   // path; leaves exercise the deg == 1 general-path draw (always 0).
   {
     const Graph g = MakeStar(6000);
-    RunCase("star-6000", g, /*rounds=*/3, meta.Next(), nullptr, &ws);
-    RunCase("star-6000", g, /*rounds=*/3, meta.Next(), &lazy, &ws);
+    RunCase("star-6000", g, /*rounds=*/3, meta.Next(), nullptr, &ws, backend);
+    RunCase("star-6000", g, /*rounds=*/3, meta.Next(), &lazy, &ws, backend);
   }
 
   // Resume-split property: an arbitrary 3-way split of the same run through
@@ -216,7 +246,7 @@ int main() {
       SetThreadCount(threads);
       std::vector<std::vector<ReportId>> ref = ReferenceInit(240);
       for (size_t r = 0; r < 13; ++r) ReferenceRound(g, r, seed, &lazy, &ref);
-      ExchangeResult state = StartExchange(g, PatternArena(240));
+      ExchangeResult state = StartExchange(g, PatternArena(240, backend));
       size_t done = 0;
       for (size_t chunk : {size_t{1}, size_t{7}, size_t{5}}) {
         ExchangeOptions opts;
