@@ -111,11 +111,17 @@ int main() {
     config.SetGraph(Graph(base)).SetEpsilon0(eps0).SetSeed(9);
     Session session = Session::Create(std::move(config)).value();
     const size_t pre_rewire_rounds = session.target_rounds() / 2;
-    session.Step(pre_rewire_rounds);
+    const Status stepped = session.Step(pre_rewire_rounds);
+    if (!stepped.ok()) {
+      NETSHUFFLE_FATAL("extension_dynamic: " + stepped.ToString());
+    }
     Rng rewire_rng(77);
     const Status rewired =
         session.Rewire(MakeRandomRegular(n, k, &rewire_rng));
-    session.StepToTarget();
+    const Status finished = session.StepToTarget();
+    if (!finished.ok()) {
+      NETSHUFFLE_FATAL("extension_dynamic: " + finished.ToString());
+    }
     const auto result = session.Finalize();
     std::printf(
         "\nMid-run rewiring: %s after %zu of %zu rounds; %zu/%zu reports "

@@ -73,7 +73,7 @@ MonteCarloAccountingResult MonteCarloEpsilonAll(const Graph& g, size_t rounds,
           const uint32_t* offsets = store.offsets_data();
           const uint32_t* end = std::upper_bound(
               offsets, offsets + store.num_users() + 1,
-              static_cast<uint32_t>(i));
+              CheckedNarrow32(i, "victim-scan report index"));
           slot_size = static_cast<size_t>(*end - *(end - 1));
           break;
         }

@@ -1,13 +1,22 @@
 #include "core/session.h"
 
 #include <cmath>
-#include <thread>
 #include <utility>
 
 #include "graph/connectivity.h"
 #include "graph/spectral.h"
 #include "graph/walk.h"
 #include "util/rng.h"
+
+// The mutator-only entry points (Step/BeginEpoch/Rewire) each hold an
+// ns::RoleScope on Sync::mutator — the annotated successor of the PR 6
+// MutationScope: two overlapping mutations, or a Finalize that observes
+// one in flight (Sync::AssertQuiescent), are a contract violation that
+// would silently produce a torn exchange state, so they abort loudly.
+// Detection is best-effort (a racing pair may interleave before the
+// exchange), but every deterministic misuse and the common racing ones
+// die there — and the NS_GUARDED_BY(sync_->mutator) annotations make the
+// discipline a compile-time check under clang -Wthread-safety.
 
 namespace netshuffle {
 
@@ -16,32 +25,6 @@ namespace {
 bool ValidSlack(double d) { return std::isfinite(d) && d > 0.0 && d < 1.0; }
 
 }  // namespace
-
-/// Guards the mutator-only entry points (Step/BeginEpoch/Rewire): two
-/// overlapping mutations — or a Finalize that observes one in flight — are
-/// a contract violation that would silently produce a torn exchange state,
-/// so they abort loudly instead.  Detection is best-effort (a racing pair
-/// may interleave before the exchange), but every deterministic misuse and
-/// the common racing ones die here.
-class Session::MutationScope {
- public:
-  MutationScope(Session::Sync* sync, const char* op) : sync_(sync) {
-    if (sync_->mutating.exchange(true, std::memory_order_acq_rel)) {
-      NETSHUFFLE_FATAL(
-          std::string(op) +
-          " overlaps another Step/BeginEpoch/Rewire: mutator calls require "
-          "external synchronization (one serving thread — see the "
-          "concurrency contract in core/session.h)");
-    }
-  }
-  ~MutationScope() { sync_->mutating.store(false, std::memory_order_release); }
-
-  MutationScope(const MutationScope&) = delete;
-  MutationScope& operator=(const MutationScope&) = delete;
-
- private:
-  Session::Sync* sync_;
-};
 
 Status Session::Validate(const SessionConfig& config) {
   if (config.graph().num_nodes() == 0) {
@@ -157,6 +140,9 @@ Session::Session(SessionConfig config, std::shared_ptr<StorageBackend> backend)
       allow_non_ergodic_(config.allow_non_ergodic()),
       require_mixed_rounds_(config.require_mixed_rounds()),
       backend_(std::move(backend)),
+      // graph_ is initialized (and config's graph moved out) above, so the
+      // cached population reads the adopted member.
+      num_users_(graph_.num_nodes()),
       epoch_seed_(config.seed()),
       sync_(std::make_unique<Sync>()) {
   if (accountant_ == nullptr) {
@@ -196,6 +182,7 @@ PayloadArena Session::MakePendingArena() const {
 void Session::DiscardPending() { pending_ = MakePendingArena(); }
 
 double Session::Gamma() const {
+  ns::ReaderMutexLock structure(&sync_->structure);
   return static_cast<double>(graph_.num_nodes()) *
          SumSquaresBound(stationary_sum_squares_, gap_, target_rounds_);
 }
@@ -206,7 +193,14 @@ Status Session::Step(size_t k) {
                          "Session::Step(0): advancing zero rounds is a no-op "
                          "the engine rejects; pass k >= 1");
   }
-  MutationScope scope(sync_.get(), "Session::Step");
+  ns::RoleScope scope(&sync_->mutator, "Session::Step");
+  // Shared around the graph/seed reads: the only exclusive takers
+  // (BeginEpoch/Rewire) are mutator calls the role already excludes, so
+  // this is one uncontended shared acquisition per Step — it exists so the
+  // structure-guarded reads below are visible to the static analysis, and
+  // it additionally closes the (contract-violating) window where a racing
+  // Rewire could swap the graph under a running exchange.
+  ns::ReaderMutexLock structure(&sync_->structure);
   ExchangeOptions opts;
   opts.rounds = k;
   opts.first_round = state_.rounds;
@@ -222,6 +216,11 @@ Status Session::Step(size_t k) {
 }
 
 Status Session::StepToTarget() {
+  // Reads the round/target state the mutator owns, then Steps; the role is
+  // acquired inside Step, so here quiescence is asserted instead (fatal if
+  // another mutator call is in flight — previously this read was
+  // unchecked).
+  sync_->AssertQuiescent("Session::StepToTarget");
   if (state_.rounds >= target_rounds_) return Status::Ok();
   return Step(target_rounds_ - state_.rounds);
 }
@@ -231,6 +230,7 @@ Expected<size_t> Session::StepUntil(double target_epsilon, size_t max_rounds) {
     return Status::Error(StatusCode::kInvalidArgument,
                          "StepUntil: target_epsilon must be finite and > 0");
   }
+  sync_->AssertQuiescent("Session::StepUntil");
   while (state_.rounds < max_rounds &&
          Guarantee().epsilon > target_epsilon) {
     const Status s = Step(1);
@@ -240,12 +240,10 @@ Expected<size_t> Session::StepUntil(double target_epsilon, size_t max_rounds) {
 }
 
 ProtocolResult Session::Finalize(ReportingProtocol protocol) const {
-  if (sync_->mutating.load(std::memory_order_acquire)) {
-    NETSHUFFLE_FATAL(
-        "Session::Finalize overlaps a Step/BeginEpoch/Rewire in flight: it "
-        "reads the exchange state those calls mutate, so it belongs to the "
-        "mutator thread (see the concurrency contract in core/session.h)");
-  }
+  // Reads the exchange state the mutator calls own: fatal if one is in
+  // flight, and the assert grants the analysis the capabilities the reads
+  // below require (see Sync::AssertQuiescent).
+  sync_->AssertQuiescent("Session::Finalize");
   return FinalizeProtocol(state_, protocol, epoch_seed_);
 }
 
@@ -256,18 +254,21 @@ ProtocolResult Session::Run() {
 }
 
 Status Session::Ingest(NodeId origin, const uint8_t* data, size_t size) {
-  if (static_cast<size_t>(origin) >= graph_.num_nodes()) {
+  // Bounds-checks against the cached immutable population (num_users_), not
+  // the structure-guarded graph_: Rewire only admits same-node-count graphs,
+  // so the ingest hot path stays lock-free per report.
+  if (static_cast<size_t>(origin) >= num_users_) {
     return Status::Error(
         StatusCode::kPayloadMismatch,
         "Ingest: origin " + std::to_string(origin) + " is outside the " +
-            std::to_string(graph_.num_nodes()) + "-user population");
+            std::to_string(num_users_) + "-user population");
   }
   pending_.Append(origin, data, size);
   return Status::Ok();
 }
 
 Status Session::BeginEpoch() {
-  MutationScope scope(sync_.get(), "Session::BeginEpoch");
+  ns::RoleScope scope(&sync_->mutator, "Session::BeginEpoch");
   // File-backed sessions create the NEXT epoch's pending stream before
   // anything is mutated, so a kIoError here (disk gone between epochs)
   // leaves the session fully consistent: the current epoch keeps serving
@@ -283,16 +284,14 @@ Status Session::BeginEpoch() {
   // stays mutable (short epochs keep ingesting; duplicates DiscardPending).
   // Hosted arenas surface column-map failures here as kIoError, likewise
   // without rolling.
-  const Status sealed = pending_.Seal(graph_.num_nodes());
+  const Status sealed = pending_.Seal(num_users_);
   if (!sealed.ok()) return sealed;
 
   // Exclusive vs accounting readers: the exchange swap below invalidates
   // what ContextAt/Certify read (rounds restart, fresh holdings).  The
-  // writer_waiting gate keeps a continuous query load from starving the
-  // rollover (readers yield while it is raised).
-  sync_->writer_waiting.store(true, std::memory_order_release);
-  std::unique_lock<std::shared_mutex> structure(sync_->structure);
-  sync_->writer_waiting.store(false, std::memory_order_release);
+  // writer-priority gate that kept a continuous query load from starving
+  // this rollover now lives inside ns::SharedMutex::WriterLock.
+  ns::WriterMutexLock structure(&sync_->structure);
   ++epoch_;
   // Fresh engine/finalize streams per epoch; epoch 0 keeps seed_ itself so
   // the one-shot path is bit-identical to the pre-epoch engine.
@@ -304,23 +303,29 @@ Status Session::BeginEpoch() {
 }
 
 Status Session::Rewire(Graph graph) {
-  MutationScope scope(sync_.get(), "Session::Rewire");
-  if (graph.num_nodes() != graph_.num_nodes()) {
+  ns::RoleScope scope(&sync_->mutator, "Session::Rewire");
+  if (graph.num_nodes() != num_users_) {
     return Status::Error(
         StatusCode::kGraphMismatch,
         "Rewire: replacement graph has " + std::to_string(graph.num_nodes()) +
-            " nodes, session has " + std::to_string(graph_.num_nodes()));
+            " nodes, session has " + std::to_string(num_users_));
   }
   // Re-validate with the session's own policy knobs: a fixed rounds target
   // must re-pass the mixing-floor check against the NEW topology when the
   // user opted into RequireMixedRounds.
   SessionConfig probe;
-  probe.SetGraph(std::move(graph))
-      .SetEpsilon0(epsilon0_)
-      .SetDeltaSplit(delta_, delta2_)
-      .SetRounds(rounds_fixed_ ? target_rounds_ : 0)
-      .RequireMixedRounds(require_mixed_rounds_)
-      .AllowNonErgodic(allow_non_ergodic_);
+  {
+    // Shared only around the target_rounds_ read; the scope closes before
+    // the exclusive acquisition below (no shared->exclusive upgrade), and
+    // the mutator role keeps any other writer out of the gap.
+    ns::ReaderMutexLock structure(&sync_->structure);
+    probe.SetGraph(std::move(graph))
+        .SetEpsilon0(epsilon0_)
+        .SetDeltaSplit(delta_, delta2_)
+        .SetRounds(rounds_fixed_ ? target_rounds_ : 0)
+        .RequireMixedRounds(require_mixed_rounds_)
+        .AllowNonErgodic(allow_non_ergodic_);
+  }
   const Status status = Validate(probe);
   if (!status.ok()) return status;
 
@@ -331,10 +336,8 @@ Status Session::Rewire(Graph graph) {
   const size_t new_mixing = MixingTime(new_gap, probe.graph().num_nodes());
 
   // Exclusive vs accounting readers, who read every field swapped here
-  // (writer-priority: see BeginEpoch).
-  sync_->writer_waiting.store(true, std::memory_order_release);
-  std::unique_lock<std::shared_mutex> structure(sync_->structure);
-  sync_->writer_waiting.store(false, std::memory_order_release);
+  // (writer-priority: built into ns::SharedMutex, see BeginEpoch).
+  ns::WriterMutexLock structure(&sync_->structure);
   graph_ = probe.ReleaseGraph();
   gap_ = new_gap;
   stationary_sum_squares_ = new_sss;
@@ -344,7 +347,7 @@ Status Session::Rewire(Graph graph) {
   if (!rounds_fixed_) target_rounds_ = mixing_rounds_;
   // The graph changed under the accountant's feet (same member address, so
   // pointer-keyed caches cannot tell): drop any tracked walk state.
-  std::lock_guard<std::mutex> acct(sync_->accountant);
+  ns::MutexLock acct(&sync_->accountant);
   accountant_->OnTopologyChanged();
   return Status::Ok();
 }
@@ -366,16 +369,14 @@ AccountingContext Session::ContextAt(size_t rounds, double epsilon0) const {
 
 PrivacyParams Session::RawGuaranteeAt(size_t rounds, double epsilon0) const {
   // Shared vs BeginEpoch/Rewire (which swap the graph/spectral fields this
-  // reads) — Step never takes this lock, so queries overlap stepping freely.
-  // Back off while a structural writer waits: reader-preferring rwlocks
-  // would otherwise starve epoch rollovers under continuous query load.
-  while (sync_->writer_waiting.load(std::memory_order_acquire)) {
-    std::this_thread::yield();
-  }
-  std::shared_lock<std::shared_mutex> structure(sync_->structure);
+  // reads) — Step only takes the shared side, so queries overlap stepping
+  // freely.  The back-off that kept reader-preferring rwlocks from starving
+  // epoch rollovers under continuous query load now lives inside
+  // ns::SharedMutex::ReaderLock.
+  ns::ReaderMutexLock structure(&sync_->structure);
   const AccountingContext ctx = ContextAt(rounds, epsilon0);
   // Accountants may cache walk state between queries; one reader at a time.
-  std::lock_guard<std::mutex> acct(sync_->accountant);
+  ns::MutexLock acct(&sync_->accountant);
   return accountant_->Certify(ctx);
 }
 

@@ -39,9 +39,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 
@@ -53,6 +51,8 @@
 #include "shuffle/engine.h"
 #include "shuffle/payload.h"
 #include "shuffle/protocol.h"
+#include "util/annotations.h"
+#include "util/sync.h"
 
 namespace netshuffle {
 
@@ -225,46 +225,77 @@ class Session {
 
   // ---- Operating point -----------------------------------------------------
 
-  const Graph& graph() const { return graph_; }
-  double spectral_gap() const { return gap_; }
+  /// The user population — immutable for the session's life (Rewire
+  /// requires a same-size replacement), so reader-safe without any lock.
+  size_t num_users() const { return num_users_; }
+  /// Mutator-thread only: Rewire swaps the graph this references, so a
+  /// reader holding it across a rewire would race (runtime-asserted via
+  /// the mutator role; reader threads use num_users()/spectral_gap()/...).
+  const Graph& graph() const {
+    sync_->AssertQuiescent("Session::graph");
+    return graph_;
+  }
+  /// Reader-safe (shared-locks the structure state; PR 9 made these
+  /// scalar getters safe concurrent with Rewire/BeginEpoch).
+  double spectral_gap() const {
+    ns::ReaderMutexLock lock(&sync_->structure);
+    return gap_;
+  }
   /// alpha^-1 log n — the paper's operating point and the rounds floor.
-  size_t mixing_rounds() const { return mixing_rounds_; }
+  /// Reader-safe.
+  size_t mixing_rounds() const {
+    ns::ReaderMutexLock lock(&sync_->structure);
+    return mixing_rounds_;
+  }
   /// Resolved rounds policy: the configured fixed rounds, or mixing_rounds()
-  /// when the config asked for the default.
-  size_t target_rounds() const { return target_rounds_; }
+  /// when the config asked for the default.  Reader-safe.
+  size_t target_rounds() const {
+    ns::ReaderMutexLock lock(&sync_->structure);
+    return target_rounds_;
+  }
   /// n * (sum P^2 bound at target_rounds()) — the paper's Gamma_G
   /// irregularity at the operating point (1 for regular graphs).
+  /// Reader-safe.
   double Gamma() const;
 
   // ---- Concurrency contract ------------------------------------------------
   //
   // A serving deployment runs ONE mutator thread and any number of reader
-  // threads (DESIGN.md §8 "Serving model"):
+  // threads (DESIGN.md §8 "Serving model").  The discipline below is
+  // machine-checked: every guarded field carries an NS_GUARDED_BY
+  // annotation against the capability that protects it, and the
+  // static-analysis CI job compiles the tree under clang
+  // -Wthread-safety -Werror (DESIGN.md §10 has the full annotation map).
   //
-  //   mutator-only (external synchronization, enforced best-effort by a
-  //   fatal mutation flag):  Step / StepToTarget / StepUntil / Run /
-  //   BeginEpoch / Rewire / Finalize / FinalizeEpoch.
+  //   mutator-only (external synchronization, enforced best-effort by the
+  //   fatal ns::Role capability Sync::mutator):  Step / StepToTarget /
+  //   StepUntil / Run / BeginEpoch / Rewire / Finalize / FinalizeEpoch.
+  //   The exchange state (state_, exchange_ws_) is NS_GUARDED_BY the role.
   //
   //   reader-safe, concurrent with Step AND with BeginEpoch/Rewire:
   //   Guarantee / GuaranteeAt / RawGuaranteeAt / TargetGuarantee /
-  //   current_round / epoch / spectral_gap-independent getters.  Progress
-  //   is published through one packed (epoch, round) atomic with
-  //   release/acquire ordering — readers observe a monotone counter and
-  //   never a torn (epoch, round) pair — and the graph/spectral state those
-  //   queries read is guarded by a shared mutex that only BeginEpoch and
-  //   Rewire take exclusively.  Accountant caches are serialized on a
-  //   query-side mutex.  No lock of any kind is added to the engine's hop
-  //   or scatter passes.
+  //   current_round / epoch / num_users / spectral_gap / mixing_rounds /
+  //   target_rounds / Gamma.  Progress is published through one packed
+  //   (epoch, round) atomic with release/acquire ordering — readers
+  //   observe a monotone counter and never a torn (epoch, round) pair —
+  //   and the graph/spectral state those queries read is NS_GUARDED_BY
+  //   Sync::structure, an ns::SharedMutex (writer-priority built in) that
+  //   only BeginEpoch and Rewire take exclusively.  Accountant caches are
+  //   serialized on the query-side Sync::accountant mutex.  No lock of
+  //   any kind is added to the engine's hop or scatter passes.
   //
   //   ingest-thread (one producer; may be the mutator or a third thread):
   //   Ingest / pending_arena / pending_reports / DiscardPending.  The
   //   pending arena is disjoint from the executing epoch's state, so
   //   ingest for epoch e+1 may proceed while epoch e steps, finalizes, and
   //   answers queries — it must only quiesce across the BeginEpoch that
-  //   seals it.
+  //   seals it.  (pending_ is deliberately unguarded: a single producer
+  //   is a contract no mutex expresses, which is why it is the one field
+  //   on this surface without an annotation.)
   //
   // (tests/test_concurrent_accounting.cc hammers the reader surface from
-  // threads while the mutator steps and rolls epochs, under TSan in CI.)
+  // threads while the mutator steps and rolls epochs, under TSan in CI;
+  // tests/test_sync.cc pins the wrapper primitives themselves.)
 
   /// Epoch-local executed rounds (acquire-published; reader-safe).
   size_t current_round() const {
@@ -276,8 +307,12 @@ class Session {
     return UnpackEpoch(sync_->progress.load(std::memory_order_acquire));
   }
   /// The immutable origin/payload columns the session's routed ids index
-  /// into (also shared into every Finalize result).
-  const PayloadArena& payloads() const { return *state_.payloads; }
+  /// into (also shared into every Finalize result).  Mutator-thread only:
+  /// BeginEpoch replaces the arena (runtime-asserted via the mutator role).
+  const PayloadArena& payloads() const {
+    sync_->AssertQuiescent("Session::payloads");
+    return *state_.payloads;
+  }
   /// The session's storage backend, or nullptr for the in-RAM default.
   /// Benches read its StorageIoStats for bytes-moved/user and read-
   /// amplification reporting; dir() names the tmpdir holding the column
@@ -410,7 +445,9 @@ class Session {
   /// what the one-shot facade reported.
   PrivacyParams TargetGuarantee() const { return TargetGuarantee(epsilon0_); }
   PrivacyParams TargetGuarantee(double epsilon0) const {
-    return GuaranteeAt(target_rounds_, epsilon0);
+    // Through the locking accessor: target_rounds_ is structure-guarded and
+    // this query is reader-safe by contract.
+    return GuaranteeAt(target_rounds(), epsilon0);
   }
 
  private:
@@ -422,47 +459,55 @@ class Session {
   /// BeginEpoch.
   PayloadArena MakePendingArena() const;
 
-  AccountingContext ContextAt(size_t rounds, double epsilon0) const;
+  // Reader-publication state, shared between the mutator thread and
+  // accounting readers; behind a unique_ptr so Session stays movable
+  // (atomics and mutexes are not).  Declared BEFORE the guarded fields so
+  // the NS_GUARDED_BY(sync_->...) expressions below read naturally; the
+  // capabilities themselves are the util/sync.h annotated wrappers.
+  struct Sync {
+    /// PackProgress(epoch, epoch-local rounds), release-stored after every
+    /// Step and BeginEpoch; the acquire side of current_round()/epoch().
+    std::atomic<uint64_t> progress{0};
+    /// The single-mutator contract as a capability: Step/BeginEpoch/Rewire
+    /// hold it (ns::RoleScope, fatal on overlap — the old MutationScope);
+    /// Finalize and the mutator-only accessors assert it quiescent.
+    ns::Role mutator{"Step/BeginEpoch/Rewire mutator"};
+    /// Readers hold shared around graph/spectral reads; BeginEpoch and
+    /// Rewire hold exclusive while swapping those fields.  Writer priority
+    /// (readers yield to an announced writer, so a continuous query load
+    /// cannot starve an epoch rollover) lives inside ns::SharedMutex.
+    mutable ns::SharedMutex structure;
+    /// Serializes accountant cache access across reader threads.
+    mutable ns::Mutex accountant;
+
+    /// The best-effort "this call belongs to the mutator thread" check
+    /// (fatal if a mutation is in flight), which also grants the analysis
+    /// the mutator role plus shared structure access: quiescence means no
+    /// structural writer can be mid-swap either.
+    void AssertQuiescent(const char* op) const
+        NS_ASSERT_CAPABILITY(mutator) NS_ASSERT_SHARED_CAPABILITY(structure) {
+      mutator.AssertQuiescent(op);
+    }
+  };
+
+  AccountingContext ContextAt(size_t rounds, double epsilon0) const
+      NS_REQUIRES_SHARED(sync_->structure);
 
   // One packed word so readers never see a torn (epoch, round) pair, and
   // so progress is globally monotone across epoch rollovers.  Epoch-local
-  // rounds are capped at 2^32 - 1 — unreachable (a round is an O(n) pass).
+  // rounds are capped at 2^32 - 1 — unreachable (a round is an O(n) pass),
+  // and CheckedNarrow32 makes hitting the cap loud instead of a silent
+  // wrap to a non-monotone counter.
   static uint64_t PackProgress(size_t epoch, size_t rounds) {
     return (static_cast<uint64_t>(epoch) << 32) |
-           static_cast<uint64_t>(static_cast<uint32_t>(rounds));
+           static_cast<uint64_t>(CheckedNarrow32(rounds, "epoch rounds"));
   }
   static size_t UnpackEpoch(uint64_t p) { return static_cast<size_t>(p >> 32); }
   static size_t UnpackRounds(uint64_t p) {
     return static_cast<size_t>(p & 0xffffffffULL);
   }
 
-  // Reader-publication state, shared between the mutator thread and
-  // accounting readers; behind a unique_ptr so Session stays movable
-  // (atomics and mutexes are not).
-  struct Sync {
-    /// PackProgress(epoch, epoch-local rounds), release-stored after every
-    /// Step and BeginEpoch; the acquire side of current_round()/epoch().
-    std::atomic<uint64_t> progress{0};
-    /// Best-effort contract enforcement: true while Step/BeginEpoch/Rewire
-    /// mutate; a second mutator (or a concurrent Finalize) fatals.
-    std::atomic<bool> mutating{false};
-    /// Readers hold shared around graph/spectral reads; BeginEpoch and
-    /// Rewire hold exclusive while swapping those fields.
-    mutable std::shared_mutex structure;
-    /// Writer-priority gate for `structure`: pthread rwlocks prefer readers,
-    /// so a continuous query load would starve an epoch rollover
-    /// indefinitely.  BeginEpoch/Rewire raise this before taking the
-    /// exclusive lock; readers yield until it clears, bounding rollover
-    /// latency by one in-flight query.
-    std::atomic<bool> writer_waiting{false};
-    /// Serializes accountant cache access across reader threads.
-    mutable std::mutex accountant;
-  };
-
-  /// RAII around the mutator-only calls: fatal on overlap.
-  class MutationScope;
-
-  Graph graph_;
+  Graph graph_ NS_GUARDED_BY(sync_->structure);
   ReportingProtocol protocol_ = ReportingProtocol::kAll;
   double epsilon0_ = 1.0;
   std::string mechanism_name_ = "unspecified";
@@ -481,25 +526,33 @@ class Session {
   /// last reference.
   std::shared_ptr<StorageBackend> backend_;
 
-  double gap_ = 0.0;
-  double stationary_sum_squares_ = 0.0;
-  size_t mixing_rounds_ = 0;
-  size_t target_rounds_ = 0;
+  /// graph_.num_nodes(), cached at Create: the population is immutable for
+  /// the session's life (Rewire requires a same-size replacement), so
+  /// Ingest's per-report origin check and num_users() read it lock-free.
+  size_t num_users_ = 0;
+  double gap_ NS_GUARDED_BY(sync_->structure) = 0.0;
+  double stationary_sum_squares_ NS_GUARDED_BY(sync_->structure) = 0.0;
+  size_t mixing_rounds_ NS_GUARDED_BY(sync_->structure) = 0;
+  size_t target_rounds_ NS_GUARDED_BY(sync_->structure) = 0;
   bool rounds_fixed_ = false;
   /// The CURRENT epoch's exchange state, replaced wholesale by BeginEpoch.
-  ExchangeResult state_;
+  ExchangeResult state_ NS_GUARDED_BY(sync_->mutator);
   /// Reusable engine scratch (shuffle/engine.h): Step passes this to
   /// ResumeExchange so a serving loop stepping one round at a time stops
   /// paying an O(shards * n) allocation per call.  Scratch only — reuse
   /// across epochs and rewires cannot change results.
-  ExchangeWorkspace exchange_ws_;
-  /// Serving epoch index mirrored into sync_->progress (mutator's copy).
-  size_t epoch_ = 0;
+  ExchangeWorkspace exchange_ws_ NS_GUARDED_BY(sync_->mutator);
+  /// Serving epoch index mirrored into sync_->progress (mutator's copy;
+  /// structure-guarded because Step reads it while readers may be
+  /// re-certifying against the same fields BeginEpoch swaps).
+  size_t epoch_ NS_GUARDED_BY(sync_->structure) = 0;
   /// Engine/finalize seed of the current epoch: seed_ for epoch 0 (the
   /// one-shot path, bit-identical to the pre-epoch engine), then
   /// HashCombine(seed_, epoch) so every epoch draws fresh streams.
-  uint64_t epoch_seed_ = 0;
+  uint64_t epoch_seed_ NS_GUARDED_BY(sync_->structure) = 0;
   /// Next epoch's streamed ingest (sealed and adopted by BeginEpoch).
+  /// Unguarded on purpose: one producer thread by contract (see the
+  /// concurrency comment above) — a discipline no capability expresses.
   PayloadArena pending_;
   std::unique_ptr<Sync> sync_;
 };

@@ -79,7 +79,12 @@ inline const char* StatusCodeName(StatusCode code) {
   return "kUnknown";
 }
 
-class Status {
+/// [[nodiscard]]: a dropped Status is a swallowed error — every producer
+/// either succeeded silently or failed silently, and the caller cannot tell
+/// which.  Call sites that genuinely want to discard must say so with a
+/// justified cast (none exist today; tools/ns_lint.py keeps the attribute
+/// itself from regressing).
+class [[nodiscard]] Status {
  public:
   /// Default-constructed Status is OK.
   Status() = default;
@@ -133,9 +138,11 @@ inline uint32_t CheckedNarrow32(size_t value, const char* what) {
 
 /// Result-or-error for factories (Session::Create).  Holds either a T or a
 /// non-OK Status; accessing the wrong arm is a fatal error, so callers either
-/// check ok() or accept the documented abort.
+/// check ok() or accept the documented abort.  [[nodiscard]] for the same
+/// reason as Status: discarding one throws away both the result and the
+/// error.
 template <typename T>
-class Expected {
+class [[nodiscard]] Expected {
  public:
   Expected(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Expected(Status status) : status_(std::move(status)) {  // NOLINT

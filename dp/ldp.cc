@@ -14,6 +14,8 @@ KRandomizedResponse::KRandomizedResponse(size_t num_categories, double epsilon)
 uint32_t KRandomizedResponse::Randomize(uint32_t value, Rng* rng) const {
   if (rng->UniformDouble() < p_keep_) return value;
   // Uniform over the k-1 other categories.
+  // ns-lint: allow(narrow32): per-report hot path; the draw is < k_ - 1,
+  // a category count far below 2^32.
   uint32_t r = static_cast<uint32_t>(rng->UniformInt(k_ - 1));
   return r >= value ? r + 1 : r;
 }

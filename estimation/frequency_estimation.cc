@@ -31,6 +31,7 @@ FrequencyEstimationResult RunFrequencyEstimation(
   PayloadArena arena;
   arena.Reserve(n, n * rr.payload_size());
   for (size_t u = 0; u < n; ++u) {
+    // ns-lint: allow(narrow32): Discrete returns an index < k categories.
     const uint32_t truth = static_cast<uint32_t>(rng.Discrete(weights));
     result.true_frequency[truth] += 1.0;
     rr.EmitReport(static_cast<NodeId>(u), truth, &rng, &arena);
@@ -73,6 +74,7 @@ std::vector<double> AggregateFrequency(const ProtocolResult& pr,
   if (protocol == ReportingProtocol::kSingle) {
     // Indistinguishable dummies: a uniform category through the same k-RR.
     for (size_t d = 0; d < pr.dummy_reports; ++d) {
+      // ns-lint: allow(narrow32): uniform dummy category, < k.
       const uint32_t uniform = static_cast<uint32_t>(rng->UniformInt(k));
       ++counts[rr.Randomize(uniform, rng)];
       ++contributions;

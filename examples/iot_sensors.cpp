@@ -73,7 +73,11 @@ int main(int argc, char** argv) {
   const size_t t_mix = session.mixing_rounds();
   const size_t rounds = static_cast<size_t>(
       static_cast<double>(t_mix) / (1.0 - laziness)) + 1;
-  session.Step(rounds);
+  const Status stepped = session.Step(rounds);
+  if (!stepped.ok()) {
+    std::fprintf(stderr, "exchange failed: %s\n", stepped.ToString().c_str());
+    return 1;
+  }
   const auto delivered = session.Finalize();
 
   // Curator-side aggregation straight from the arena slices the delivered

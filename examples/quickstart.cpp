@@ -55,7 +55,11 @@ int main(int argc, char** argv) {
   while (session.current_round() < session.target_rounds()) {
     const size_t chunk = (session.target_rounds() + 3) / 4;
     const size_t remaining = session.target_rounds() - session.current_round();
-    session.Step(chunk < remaining ? chunk : remaining);
+    const Status stepped = session.Step(chunk < remaining ? chunk : remaining);
+    if (!stepped.ok()) {
+      std::fprintf(stderr, "exchange failed: %s\n", stepped.ToString().c_str());
+      return 1;
+    }
     const PrivacyParams sofar = session.Guarantee();
     std::printf("%5zu   (%.4f, %.2e)-DP\n", session.current_round(),
                 sofar.epsilon, sofar.delta);

@@ -198,19 +198,19 @@ StorageBackend::~StorageBackend() {
 }
 
 std::string StorageBackend::NextPath(const char* stem) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ns::MutexLock lock(&mu_);
   return dir_ + "/" + stem + "." + std::to_string(next_file_++);
 }
 
 void StorageBackend::RecordWrite(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ns::MutexLock lock(&mu_);
   stats_.bytes_written += bytes;
 }
 
 void StorageBackend::RecordWillNeed(const std::string& path, uint64_t offset,
                                     uint64_t len) {
   if (len == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  ns::MutexLock lock(&mu_);
   stats_.logical_bytes_advised += len;
   const uint64_t first_block = offset / block_bytes_;
   const uint64_t last_block = (offset + len - 1) / block_bytes_;
@@ -226,12 +226,12 @@ void StorageBackend::RecordWillNeed(const std::string& path, uint64_t offset,
 }
 
 void StorageBackend::RecordDontNeed(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ns::MutexLock lock(&mu_);
   stats_.bytes_dropped += bytes;
 }
 
 StorageIoStats StorageBackend::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ns::MutexLock lock(&mu_);
   return stats_;
 }
 

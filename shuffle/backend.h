@@ -44,13 +44,14 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/status.h"
 #include "shuffle/protocol.h"
+#include "util/annotations.h"
+#include "util/sync.h"
 
 namespace netshuffle {
 
@@ -197,12 +198,13 @@ class StorageBackend {
 
   std::string dir_;
   size_t block_bytes_;
-  mutable std::mutex mu_;
-  uint64_t next_file_ = 0;
-  StorageIoStats stats_;
+  mutable ns::Mutex mu_;
+  uint64_t next_file_ NS_GUARDED_BY(mu_) = 0;
+  StorageIoStats stats_ NS_GUARDED_BY(mu_);
   /// Per-file, per-block touch counters (block i covers bytes
   /// [i * block_bytes_, (i + 1) * block_bytes_)).
-  std::map<std::string, std::vector<uint32_t>> block_touches_;
+  std::map<std::string, std::vector<uint32_t>> block_touches_
+      NS_GUARDED_BY(mu_);
 };
 
 /// A fixed-stride column that is either a heap vector (default) or one

@@ -200,6 +200,8 @@ void HopShard(const Graph& g, const ExchangeOptions& options, size_t round,
     for (size_t h = h0; h < h1; ++h) {
       const uint32_t b = holder_b[h], e = holder_b[h + 1];
       coins[b - base] = firsts[h - h0];
+      // ns-lint: allow(narrow32): hot kernel; h - h0 < the holder count,
+      // itself <= the user count narrowed at store allocation.
       multi[m] = static_cast<uint32_t>(h - h0);
       m += (e - b > 1) ? 1 : 0;
     }
@@ -492,11 +494,15 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
   {
     const uint32_t* offsets = store.offsets_data();
     for (size_t v = 0; v < n; ++v) {
+      // ns-lint: allow(narrow32): hot kernel; v < n and n/total passed
+      // CheckedNarrow32 when the store's offset columns were allocated.
       holder_v[num_holders] = static_cast<uint32_t>(v);
       holder_b[num_holders] = offsets[v];
       num_holders += (offsets[v + 1] > offsets[v]) ? 1 : 0;
     }
+    // ns-lint: allow(narrow32): sentinel; same bound as the loop above.
     holder_v[num_holders] = static_cast<uint32_t>(n);  // sentinel
+    // ns-lint: allow(narrow32): total fits the uint32 offset column.
     holder_b[num_holders] = static_cast<uint32_t>(total);
   }
 
@@ -511,6 +517,7 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
     // exactly those with user id in [bounds[c], bounds[c+1])), so every hop
     // shard still covers a contiguous arena range.
     for (size_t c = 0; c <= shards; ++c) {
+      // ns-lint: allow(narrow32): shard bounds are user ids, <= n.
       ws.holder_start_[c] =
           std::lower_bound(holder_v, holder_v + num_holders,
                            static_cast<uint32_t>(bounds[c])) -
@@ -550,6 +557,8 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
     size_t next_holders = 0;
     for (size_t v = 0; v < n; ++v) {
       next_offsets[v] = run;
+      // ns-lint: allow(narrow32): hot kernel; v < n, narrowed at store
+      // allocation.
       holder_v[next_holders] = static_cast<uint32_t>(v);
       holder_b[next_holders] = run;
       const uint32_t row_start = run;
@@ -562,6 +571,7 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
       next_holders += (run > row_start) ? 1 : 0;
     }
     next_offsets[n] = run;  // == total: reports are conserved
+    // ns-lint: allow(narrow32): sentinel; n narrowed at store allocation.
     holder_v[next_holders] = static_cast<uint32_t>(n);  // sentinel
     holder_b[next_holders] = run;
 

@@ -69,8 +69,11 @@ class ReportStore {
     uint32_t* offsets = offsets_.data();
     for (size_t u = 0; u < n; ++u) {
       arena[u] = static_cast<ReportId>(u);
+      // ns-lint: allow(narrow32): u < n, checked by the CheckedNarrow32
+      // at the top of this function.
       offsets[u] = static_cast<uint32_t>(u);
     }
+    // ns-lint: allow(narrow32): n checked at the top of this function.
     offsets[n] = static_cast<uint32_t>(n);
   }
 

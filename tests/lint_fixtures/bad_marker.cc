@@ -1,0 +1,17 @@
+// ns-lint-fixture: as=core/bad_marker.cc expects=marker,marker,narrow32
+// Known-bad: malformed suppression markers.  A marker with no justification
+// (or naming an unknown rule) is itself a finding, and it suppresses
+// nothing — the narrowing under it still fires.
+#include <cstddef>
+#include <cstdint>
+
+namespace netshuffle {
+
+uint32_t BadMarkers(size_t n) {
+  // ns-lint: allow(narrow32)
+  uint32_t a = static_cast<uint32_t>(n);
+  // ns-lint: allow(made-up-rule): justification for a rule that is not real
+  return a;
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,12 @@
+// ns-lint-fixture: as=core/bad_narrow.cc expects=narrow32
+// Known-bad: a raw uint32 narrowing in a library dir with no allow marker.
+#include <cstddef>
+#include <cstdint>
+
+namespace netshuffle {
+
+uint32_t BadNarrow(size_t n) {
+  return static_cast<uint32_t>(n);  // silently wraps past 2^32
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,19 @@
+// ns-lint-fixture: as=bench/bad_nodiscard.cc expects=nodiscard,nodiscard
+// Known-bad: bare-statement calls discarding a Status / an Expected.
+#include "core/session.h"
+
+namespace netshuffle {
+
+void BadDiscard(Session& session, Graph g) {
+  session.Rewire(std::move(g));  // Status dropped on the floor
+  session.StepToTarget();        // likewise
+  // NOT findings — the result is consumed:
+  const Status kept = session.Rewire(Graph(g));
+  if (!kept.ok()) return;
+  // NOT a finding — continuation of an expression, not a bare statement:
+  const Status wrapped =
+      session.Rewire(std::move(g));
+  (void)wrapped;
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,23 @@
+// ns-lint-fixture: as=shuffle/bad_nondet.cc expects=nondet,nondet,nondet,nondet
+// Known-bad: every nondeterminism source the nondet rule must catch inside
+// the deterministic core.  Never compiled; consumed by ns_lint.py --self-test.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace netshuffle {
+
+size_t BadSeed() {
+  std::random_device rd;            // nondet: hardware entropy
+  size_t s = static_cast<size_t>(std::rand());  // nondet: C rand()
+  s ^= static_cast<size_t>(std::time(nullptr));  // nondet: wall clock
+  auto t = std::chrono::system_clock::now();     // nondet: wall clock
+  (void)t;
+  return s + rd();
+}
+
+// Prose mentions of rand() and system_clock in comments must NOT fire:
+// the linter strips comments before matching.
+
+}  // namespace netshuffle

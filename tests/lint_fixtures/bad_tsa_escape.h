@@ -1,0 +1,16 @@
+// ns-lint-fixture: as=core/bad_tsa_escape.h expects=tsa-escape
+// Known-bad: suppressing the thread-safety analysis outside
+// util/annotations.h.  The repo contract is zero escapes.
+#include "util/annotations.h"
+
+namespace netshuffle {
+
+class Sneaky {
+ public:
+  void Mutate() NS_NO_THREAD_SAFETY_ANALYSIS { ++x_; }
+
+ private:
+  int x_ = 0;
+};
+
+}  // namespace netshuffle

@@ -1,0 +1,18 @@
+// ns-lint-fixture: as=core/ok_allow.cc expects=
+// Clean: a justified allow marker suppresses the narrowing under it, and
+// CheckedNarrow32 is the blessed path needing no marker at all.
+#include <cstddef>
+#include <cstdint>
+
+#include "core/status.h"
+
+namespace netshuffle {
+
+uint32_t OkNarrow(size_t n) {
+  // ns-lint: allow(narrow32): n is a category count, bounded to 64 by the
+  // caller's validation.
+  const uint32_t small = static_cast<uint32_t>(n);
+  return small + CheckedNarrow32(n, "category count");
+}
+
+}  // namespace netshuffle

@@ -1,0 +1,93 @@
+// Clang thread-safety annotation macros (DESIGN.md §10).
+//
+// These wrap clang's capability analysis attributes so the locking
+// discipline of the serving core — which fields Session::Sync::structure
+// guards, which calls require the mutator role, which counters belong to
+// ThreadPool::mutex_ — is machine-checked at compile time under
+//
+//   clang++ -Wthread-safety -Werror
+//
+// (the static-analysis CI job) instead of only at runtime by the TSan leg.
+// Under GCC (and any compiler without the attributes) every macro expands
+// to nothing, so the annotations are zero-cost and the portable build is
+// unchanged.
+//
+// The macros follow the canonical capability vocabulary
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//
+//   NS_CAPABILITY(name)       declares a class to BE a capability (a lock,
+//                             or a role like ns::Role).
+//   NS_GUARDED_BY(mu)         a field readable with `mu` held shared,
+//                             writable with `mu` held exclusively.
+//   NS_PT_GUARDED_BY(mu)      same, for the data a pointer field points at.
+//   NS_REQUIRES(mu)           caller must hold `mu` exclusively.
+//   NS_REQUIRES_SHARED(mu)    caller must hold `mu` at least shared.
+//   NS_ACQUIRE / NS_RELEASE   the function takes / drops the capability.
+//   NS_EXCLUDES(mu)           caller must NOT hold `mu` (deadlock guard).
+//   NS_ASSERT_CAPABILITY(mu)  runtime check that grants the capability to
+//                             the analysis (the best-effort quiescence
+//                             asserts of core/session.h).
+//
+// NS_NO_THREAD_SAFETY_ANALYSIS exists for the wrapper internals in
+// util/sync.h ONLY; the repo contract (tools/ns_lint.py would be the place
+// to enforce it if it ever drifts) is zero escapes outside these two
+// headers — an annotation that will not typecheck is a design finding to
+// fix, not to suppress.
+
+#ifndef NETSHUFFLE_UTIL_ANNOTATIONS_H_
+#define NETSHUFFLE_UTIL_ANNOTATIONS_H_
+
+// Clang exposes the capability attributes through __has_attribute; GCC
+// defines __has_attribute too but reports these as unsupported, so every
+// macro degrades to a no-op there.
+#if defined(__clang__) && defined(__has_attribute)
+#define NS_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define NS_THREAD_ANNOTATION_IMPL(x)  // no-op outside clang
+#endif
+
+#define NS_CAPABILITY(name) NS_THREAD_ANNOTATION_IMPL(capability(name))
+#define NS_SCOPED_CAPABILITY NS_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+#define NS_GUARDED_BY(x) NS_THREAD_ANNOTATION_IMPL(guarded_by(x))
+#define NS_PT_GUARDED_BY(x) NS_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+#define NS_ACQUIRED_BEFORE(...) \
+  NS_THREAD_ANNOTATION_IMPL(acquired_before(__VA_ARGS__))
+#define NS_ACQUIRED_AFTER(...) \
+  NS_THREAD_ANNOTATION_IMPL(acquired_after(__VA_ARGS__))
+
+#define NS_REQUIRES(...) \
+  NS_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+#define NS_REQUIRES_SHARED(...) \
+  NS_THREAD_ANNOTATION_IMPL(requires_shared_capability(__VA_ARGS__))
+
+#define NS_ACQUIRE(...) \
+  NS_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+#define NS_ACQUIRE_SHARED(...) \
+  NS_THREAD_ANNOTATION_IMPL(acquire_shared_capability(__VA_ARGS__))
+#define NS_RELEASE(...) \
+  NS_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+#define NS_RELEASE_SHARED(...) \
+  NS_THREAD_ANNOTATION_IMPL(release_shared_capability(__VA_ARGS__))
+#define NS_RELEASE_GENERIC(...) \
+  NS_THREAD_ANNOTATION_IMPL(release_generic_capability(__VA_ARGS__))
+
+#define NS_TRY_ACQUIRE(...) \
+  NS_THREAD_ANNOTATION_IMPL(try_acquire_capability(__VA_ARGS__))
+#define NS_TRY_ACQUIRE_SHARED(...) \
+  NS_THREAD_ANNOTATION_IMPL(try_acquire_shared_capability(__VA_ARGS__))
+
+#define NS_EXCLUDES(...) NS_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+#define NS_ASSERT_CAPABILITY(x) \
+  NS_THREAD_ANNOTATION_IMPL(assert_capability(x))
+#define NS_ASSERT_SHARED_CAPABILITY(x) \
+  NS_THREAD_ANNOTATION_IMPL(assert_shared_capability(x))
+
+#define NS_RETURN_CAPABILITY(x) NS_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+#define NS_NO_THREAD_SAFETY_ANALYSIS \
+  NS_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+#endif  // NETSHUFFLE_UTIL_ANNOTATIONS_H_

@@ -16,11 +16,12 @@ constexpr size_t kMaxThreads = 256;
 // job would corrupt the pool's single job slot.
 thread_local bool tls_in_parallel_region = false;
 
-std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;
-size_t g_override = 0;  // 0 = use NS_THREADS / hardware concurrency
+ns::Mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool NS_GUARDED_BY(g_pool_mutex);
+// 0 = use NS_THREADS / hardware concurrency.
+size_t g_override NS_GUARDED_BY(g_pool_mutex) = 0;
 
-size_t DefaultThreadCount() {
+size_t DefaultThreadCount() NS_REQUIRES(g_pool_mutex) {
   return g_override != 0 ? g_override : EnvThreadCount();
 }
 
@@ -53,18 +54,18 @@ size_t EnvThreadCount() {
 }
 
 void SetThreadCount(size_t threads) {
-  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  ns::MutexLock lk(&g_pool_mutex);
   g_override = std::min(threads, kMaxThreads);
   g_pool.reset();  // rebuilt lazily at the new width
 }
 
 size_t ThreadCount() {
-  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  ns::MutexLock lk(&g_pool_mutex);
   return g_pool ? g_pool->size() : DefaultThreadCount();
 }
 
 ThreadPool& GlobalPool() {
-  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  ns::MutexLock lk(&g_pool_mutex);
   if (!g_pool) g_pool = std::make_unique<ThreadPool>(DefaultThreadCount());
   return *g_pool;
 }
@@ -79,10 +80,10 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    ns::MutexLock lk(&mutex_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -105,18 +106,18 @@ void ThreadPool::RunChunks(size_t chunks, const std::function<void(size_t)>& fn)
   // (the session's accounting readers vs its stepping thread).  Workers and
   // nested dispatch never reach here (inline path above), so this cannot
   // self-deadlock.
-  std::lock_guard<std::mutex> dispatch_lk(dispatch_mutex_);
+  ns::MutexLock dispatch_lk(&dispatch_mutex_);
 
   Job job;
   job.fn = &fn;
   job.chunks = chunks;
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    ns::MutexLock lk(&mutex_);
     job_ = &job;
     ++generation_;
     active_workers_ = workers_.size();
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
 
   // The dispatcher claims chunks too, so a 2-wide pool really is 2-wide.
   // While it does, it counts as inside the region: anything it calls that
@@ -125,24 +126,33 @@ void ThreadPool::RunChunks(size_t chunks, const std::function<void(size_t)>& fn)
   for (size_t c; (c = job.next.fetch_add(1)) < chunks;) fn(c);
   tls_in_parallel_region = false;
 
-  std::unique_lock<std::mutex> lk(mutex_);
-  done_cv_.wait(lk, [this] { return active_workers_ == 0; });
+  // Explicit condition loop (not a predicate lambda): the analysis checks
+  // the guarded active_workers_ read right here, under the held lock.
+  ns::MutexLock lk(&mutex_);
+  while (active_workers_ != 0) done_cv_.Wait(mutex_);
   job_ = nullptr;
 }
 
 void ThreadPool::WorkerLoop() {
   tls_in_parallel_region = true;  // for life: workers never dispatch
   uint64_t seen = 0;
-  std::unique_lock<std::mutex> lk(mutex_);
+  // Explicit Lock/Unlock instead of a scoped guard: the lock is dropped
+  // around each job's chunk loop and retaken for the bookkeeping, a shape
+  // RAII cannot express — the analysis still checks that every guarded
+  // access below sits between a Lock and its Unlock.
+  mutex_.Lock();
   while (true) {
-    wake_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
-    if (stop_) return;
+    while (!stop_ && generation_ == seen) wake_cv_.Wait(mutex_);
+    if (stop_) {
+      mutex_.Unlock();
+      return;
+    }
     seen = generation_;
     Job* job = job_;
-    lk.unlock();
+    mutex_.Unlock();
     for (size_t c; (c = job->next.fetch_add(1)) < job->chunks;) (*job->fn)(c);
-    lk.lock();
-    if (--active_workers_ == 0) done_cv_.notify_all();
+    mutex_.Lock();
+    if (--active_workers_ == 0) done_cv_.NotifyAll();
   }
 }
 

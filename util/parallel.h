@@ -17,12 +17,13 @@
 #define NETSHUFFLE_UTIL_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/sync.h"
 
 namespace netshuffle {
 
@@ -95,14 +96,17 @@ class ThreadPool {
   // Held for the whole of a dispatched RunChunks call: the pool has ONE job
   // slot (job_/generation_), so a second outside-the-pool dispatcher must
   // wait for the current job to drain rather than overwrite it mid-flight.
-  std::mutex dispatch_mutex_;
-  std::mutex mutex_;
-  std::condition_variable wake_cv_;  // workers wait here for a new job
-  std::condition_variable done_cv_;  // the dispatcher waits here
-  Job* job_ = nullptr;
-  uint64_t generation_ = 0;  // bumped per job so each worker joins it once
-  size_t active_workers_ = 0;
-  bool stop_ = false;
+  // Always taken before mutex_ (the dispatcher holds it across the job-slot
+  // writes), which the ordering annotation makes checkable.
+  ns::Mutex dispatch_mutex_ NS_ACQUIRED_BEFORE(mutex_);
+  ns::Mutex mutex_;
+  ns::CondVar wake_cv_;  // workers wait here for a new job
+  ns::CondVar done_cv_;  // the dispatcher waits here
+  Job* job_ NS_GUARDED_BY(mutex_) = nullptr;
+  // Bumped per job so each worker joins it once.
+  uint64_t generation_ NS_GUARDED_BY(mutex_) = 0;
+  size_t active_workers_ NS_GUARDED_BY(mutex_) = 0;
+  bool stop_ NS_GUARDED_BY(mutex_) = false;
 };
 
 /// The process-wide pool, created on first use at ThreadCount() width.
