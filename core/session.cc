@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -65,6 +66,19 @@ Status Session::Validate(const SessionConfig& config) {
         config.payloads().ValidateOnePerUser(config.graph().num_nodes());
     if (!one_per_user.ok()) return one_per_user;
   }
+  if (config.shards() > 1 &&
+      (config.storage().kind == StorageBackendKind::kMmap ||
+       (config.has_payloads() && config.payloads().hosted()))) {
+    // The out-of-core tier (DESIGN.md §9) and the multi-process tier
+    // (DESIGN.md §11) are separate scaling axes: a forked shard worker
+    // cannot splice into a parent-owned mmap column.  Reported here as a
+    // typed error instead of the engine-level fatal.
+    return Status::Error(
+        StatusCode::kInvalidArgument,
+        "shards > 1 requires the default in-RAM storage (got " +
+            std::to_string(config.shards()) +
+            " shards with mmap-backed columns); shard or spill, not both");
+  }
   if (config.require_mixed_rounds() && config.rounds() > 0) {
     // Costs a spectral estimate that Create's constructor repeats; the
     // duplication is confined to this opt-in check.
@@ -82,6 +96,12 @@ Status Session::Validate(const SessionConfig& config) {
 }
 
 Expected<Session> Session::Create(SessionConfig config) {
+  // Sharding knobs resolve HERE, once: an explicit SetShards/SetTransport
+  // wins, otherwise the NS_SHARDS / NS_TRANSPORT environment decides — so
+  // the Validate below checks the values the session will actually run
+  // with (standalone Validate calls see only the explicit configuration).
+  if (!config.shards_set()) config.SetShards(EnvShardCount());
+  if (!config.transport_set()) config.SetTransport(EnvTransportKind());
   Status status = Validate(config);
   if (!status.ok()) return status;
 
@@ -139,6 +159,8 @@ Session::Session(SessionConfig config, std::shared_ptr<StorageBackend> backend)
       metrics_(config.metrics()),
       allow_non_ergodic_(config.allow_non_ergodic()),
       require_mixed_rounds_(config.require_mixed_rounds()),
+      shards_(std::max<size_t>(1, config.shards())),
+      transport_(config.transport()),
       backend_(std::move(backend)),
       // graph_ is initialized (and config's graph moved out) above, so the
       // cached population reads the adopted member.
@@ -207,7 +229,21 @@ Status Session::Step(size_t k) {
   opts.seed = epoch_seed_;
   opts.faults = faults_;
   opts.metrics = metrics_;
-  state_ = ResumeExchange(graph_, std::move(state_), opts, &exchange_ws_);
+  if (shards_ > 1) {
+    // The sharded engine (DESIGN.md §11), bit-identical to the serial path
+    // below for any shard count and either transport.  A transport failure
+    // (peer death, framing corruption) comes back as a typed
+    // kTransportError with state_ UNTOUCHED: the epoch keeps serving and
+    // the caller may retry the same Step.
+    ShardedOptions sharded;
+    sharded.shards = shards_;
+    sharded.transport = transport_;
+    const Status advanced =
+        ShardedResumeExchange(graph_, &state_, opts, sharded, &sharded_stats_);
+    if (!advanced.ok()) return advanced;
+  } else {
+    state_ = ResumeExchange(graph_, std::move(state_), opts, &exchange_ws_);
+  }
   // Publish AFTER the exchange lands: a reader that observes the new round
   // count may immediately certify a guarantee at it.
   sync_->progress.store(PackProgress(epoch_, state_.rounds),

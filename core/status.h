@@ -54,6 +54,10 @@ enum class StatusCode {
   /// missing/unreadable/shorter than its column requires
   /// (shuffle/backend.h).
   kIoError,
+  /// A cross-shard transport failure: short read, framing/checksum
+  /// mismatch, or peer death mid-exchange (shuffle/wire.h,
+  /// shuffle/transport.h).
+  kTransportError,
   /// Anything else (bad accountant parameters, ...).
   kInvalidArgument,
 };
@@ -74,6 +78,7 @@ inline const char* StatusCodeName(StatusCode code) {
       return "kEdgeEndpointOutOfRange";
     case StatusCode::kPayloadMismatch: return "kPayloadMismatch";
     case StatusCode::kIoError: return "kIoError";
+    case StatusCode::kTransportError: return "kTransportError";
     case StatusCode::kInvalidArgument: return "kInvalidArgument";
   }
   return "kUnknown";

@@ -1,0 +1,72 @@
+// Authenticated encryption for the PKI onion wrap (DESIGN.md §6):
+// ChaCha20-Poly1305 (RFC 8439), vendored as a single self-contained
+// implementation — no external crypto dependency, pure C++17.
+//
+// This replaces the seed repo's XorStream placeholder.  The functional
+// difference the relay protocol relies on: opening a layer with the wrong
+// key, a flipped bit, a truncated buffer, or the wrong (nonce, layer) pair
+// now FAILS (tag mismatch, detected in constant time) instead of silently
+// garbling — tamper detection, pinned by tests/test_pki.cc.
+//
+// Nonce discipline: the protocol's 96-bit nonce is (message nonce LE64,
+// layer counter LE32).  An onion message keeps one message nonce for its
+// lifetime while every wrap — the inner server layer and each per-hop
+// holder layer — bumps the layer counter, so rewrapping under a reused
+// holder key never reuses a (key, nonce) pair as long as one message takes
+// fewer than 2^32 hops.
+//
+// Scope: honest-but-curious transcript privacy at simulation scale, same
+// threat model as DESIGN.md §6.  Keys come from a deterministic seed
+// (DeriveAeadKey) so runs are reproducible; a deployment would provision
+// real random keys behind the same Pki interface.
+
+#ifndef NETSHUFFLE_SHUFFLE_AEAD_H_
+#define NETSHUFFLE_SHUFFLE_AEAD_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "shuffle/protocol.h"
+
+namespace netshuffle {
+
+constexpr size_t kAeadKeyBytes = 32;
+constexpr size_t kAeadTagBytes = 16;
+
+struct AeadKey {
+  std::array<uint8_t, kAeadKeyBytes> bytes{};
+};
+
+/// Deterministic 256-bit key from a (registry seed, identity) pair —
+/// SplitMix64 expansion, matching the repo's reproducible-run convention.
+AeadKey DeriveAeadKey(uint64_t seed, uint64_t id);
+
+/// Seals `plaintext_bytes` bytes under (key, nonce, layer):
+/// ChaCha20 ciphertext followed by the 16-byte Poly1305 tag (output size =
+/// input size + kAeadTagBytes).  Empty plaintexts are legal (tag-only).
+Bytes AeadSeal(const AeadKey& key, uint64_t nonce, uint32_t layer,
+               const uint8_t* plaintext, size_t plaintext_bytes);
+
+inline Bytes AeadSeal(const AeadKey& key, uint64_t nonce, uint32_t layer,
+                      const Bytes& plaintext) {
+  return AeadSeal(key, nonce, layer, plaintext.data(), plaintext.size());
+}
+
+/// Opens a sealed buffer: verifies the tag (constant-time compare) and, on
+/// success, writes the plaintext into *plaintext and returns true.  Returns
+/// false — leaving *plaintext cleared — on a wrong key, wrong (nonce,
+/// layer), any flipped ciphertext/tag bit, or a buffer shorter than the
+/// tag.
+bool AeadOpen(const AeadKey& key, uint64_t nonce, uint32_t layer,
+              const uint8_t* sealed, size_t sealed_bytes, Bytes* plaintext);
+
+inline bool AeadOpen(const AeadKey& key, uint64_t nonce, uint32_t layer,
+                     const Bytes& sealed, Bytes* plaintext) {
+  return AeadOpen(key, nonce, layer, sealed.data(), sealed.size(),
+                  plaintext);
+}
+
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_SHUFFLE_AEAD_H_

@@ -234,6 +234,8 @@ class FlatColumn {
       const size_t n = size_;
       size_ = 0;
       resize(n);
+      // ns-lint: allow(wire): heap->mmap move of one T[] image within this
+      // process — same ABI on both sides, no wire format involved
       std::memcpy(file_->data(), saved.data(), n * sizeof(T));
     }
   }
@@ -245,6 +247,7 @@ class FlatColumn {
     if (!hosted()) return;
     heap_.resize(size_);
     if (size_ > 0) {
+      // ns-lint: allow(wire): mmap->heap move of one T[] image, in-process
       std::memcpy(heap_.data(), file_->data(), size_ * sizeof(T));
     }
     DropFile();

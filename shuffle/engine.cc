@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "shuffle/engine_internal.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -47,8 +48,9 @@ constexpr size_t kMaxRoutingShards = 32;
 // holding is ~1 report, so a tile is a few tens of KB; skewed holdings —
 // a hub on a star-like graph — just grow the per-report columns to fit).
 // Tiling is scheduling-only and never splits one user's draw sequence
-// across fills.
-constexpr uint32_t kCoinTile = 4096;
+// across fills.  The value is published to the sharded engine through
+// shuffle/engine_internal.h (its workers size the same tile buffers).
+constexpr uint32_t kCoinTile = engine_internal::kHopTileHolders;
 
 // Software-prefetch lookahead for the dependent random accesses (scatter
 // cursor claims and arena placements).  The tables are O(n) and miss L1/L2
@@ -72,8 +74,11 @@ __attribute__((target("avx512f"))) void DerefHistAvx512(
   for (; i + 8 <= end_off; i += 8) {
     const __m512i a = _mm512_loadu_si512(addrs + (i - base));
     const __m256i d8 = _mm512_i64gather_epi32(a, nullptr, 1);
+    // ns-lint: allow(wire): SIMD register stores into local uint32 rows —
+    // intrinsic-mandated pointer casts, nothing serialized
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(dests + i), d8);
     alignas(32) uint32_t d[8];
+    // ns-lint: allow(wire): intrinsic-mandated register-store cast (above)
     _mm256_store_si256(reinterpret_cast<__m256i*>(d), d8);
     for (int j = 0; j < 8; ++j) ++count[d[j]];
   }
@@ -136,6 +141,14 @@ void FaultHopShard(const Graph& g, const ExchangeOptions& options,
     }
   }
 }
+
+}  // namespace
+
+// The hop and scatter kernels are shared with the sharded engine
+// (shuffle/sharded.cc) through shuffle/engine_internal.h — the sharded
+// workers run them unmodified over their contiguous user ranges, which is
+// what makes the bit-identity argument a pure placement-order argument.
+namespace engine_internal {
 
 // One source shard's hop pass for one round, over its slice of the round's
 // holder list (users with at least one held report, in ascending user
@@ -282,7 +295,7 @@ void ScatterShard(uint32_t* cursor, uint32_t begin, uint32_t end,
   }
 }
 
-}  // namespace
+}  // namespace engine_internal
 
 size_t ExchangeWorkspace::MemoryBytes() const {
   size_t bytes = next_.MemoryBytes() +
@@ -538,11 +551,11 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
     // class address mapping, and per-shard destination histograms — see
     // HopShard above and DESIGN.md §4e.
     GlobalPool().RunChunks(shards, [&](size_t c) {
-      HopShard(g, options, round, ws.holder_start_[c], ws.holder_start_[c + 1],
-               holder_v, holder_b, ws.counts_.data() + c * n, n, dests,
-               ws.streams_[c].data(), ws.firsts_[c].data(),
-               ws.multi_[c].data(), &ws.coins_[c], &ws.addrs_[c],
-               &ws.traffic_[c]);
+      engine_internal::HopShard(
+          g, options, round, ws.holder_start_[c], ws.holder_start_[c + 1],
+          holder_v, holder_b, ws.counts_.data() + c * n, n, dests,
+          ws.streams_[c].data(), ws.firsts_[c].data(), ws.multi_[c].data(),
+          &ws.coins_[c], &ws.addrs_[c], &ws.traffic_[c]);
     });
 
     // Prefix pass (coordinating thread): one running sum over destinations,
@@ -582,8 +595,10 @@ ExchangeResult ResumeExchange(const Graph& g, ExchangeResult prior,
     // slot order reproduces the serial schedule exactly.
     ReportId* next_arena = ws.next_.mutable_arena();
     GlobalPool().RunChunks(shards, [&](size_t c) {
-      ScatterShard(ws.counts_.data() + c * n, offsets[bounds[c]],
-                   offsets[bounds[c + 1]], dests, arena, next_arena);
+      engine_internal::ScatterShard(ws.counts_.data() + c * n,
+                                    offsets[bounds[c]],
+                                    offsets[bounds[c + 1]], dests, arena,
+                                    next_arena);
     });
     store.SwapWith(&ws.next_);
     num_holders = next_holders;

@@ -1,0 +1,61 @@
+// Internal seam between the serial exchange engine (shuffle/engine.cc) and
+// the sharded engine (shuffle/sharded.cc): the batched per-shard hop and
+// scatter kernels of DESIGN.md §4e, unchanged from the serial engine — the
+// sharded engine runs the SAME kernels over each worker's contiguous user
+// range, which is half of the bit-identity argument (DESIGN.md §11).
+//
+// Not part of the public API: the contracts here (sentinel-terminated holder
+// lists, caller-sized tile buffers, count rows the caller must interpret as
+// scatter cursors) are engine plumbing.  Include from shuffle/ only.
+
+#ifndef NETSHUFFLE_SHUFFLE_ENGINE_INTERNAL_H_
+#define NETSHUFFLE_SHUFFLE_ENGINE_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "shuffle/engine.h"
+#include "shuffle/protocol.h"
+
+namespace netshuffle {
+namespace engine_internal {
+
+/// Holders per hop tile (DESIGN.md §4e): the per-holder side buffers
+/// (streams / firsts / multi) passed to HopShard must hold at least this
+/// many entries.
+constexpr uint32_t kHopTileHolders = 4096;
+
+/// One shard's hop pass over holder-list entries [h_begin, h_end) of a
+/// sentinel-terminated holder list (holder_v/holder_b have a trailing entry
+/// bounding the last run).  Draws every holder's destinations from its
+/// per-(options.seed, round, user) stream — batched, branch-free, AVX-512
+/// when available; scalar fault path when options.faults != nullptr —
+/// writes them into dests[] (indexed by the holder runs' arena offsets) and
+/// histograms them into count[0, n).  count is zeroed on entry; traffic is
+/// cleared and filled with per-holder send counts when options.metrics is
+/// set.  streams/firsts/multi must hold kHopTileHolders entries; coin_buf /
+/// addr_buf grow on demand.
+void HopShard(const Graph& g, const ExchangeOptions& options, size_t round,
+              size_t h_begin, size_t h_end, const uint32_t* holder_v,
+              const uint32_t* holder_b, uint32_t* count, size_t n,
+              uint32_t* dests, uint64_t* streams, uint64_t* firsts,
+              uint32_t* multi, std::vector<uint64_t>* coin_buf,
+              std::vector<const NodeId*>* addr_buf,
+              std::vector<std::pair<NodeId, uint64_t>>* traffic);
+
+/// One shard's scatter pass: for i in [begin, end), claims slot
+/// cursor[dests[i]]++ and places arena[i] there in next_arena (split
+/// claim/place with software prefetch).  dests is overwritten with the
+/// claimed slots.  The caller's cursor row must already hold each
+/// destination's first slot for this shard (the prefix pass).
+void ScatterShard(uint32_t* cursor, uint32_t begin, uint32_t end,
+                  uint32_t* dests, const ReportId* arena,
+                  ReportId* next_arena);
+
+}  // namespace engine_internal
+}  // namespace netshuffle
+
+#endif  // NETSHUFFLE_SHUFFLE_ENGINE_INTERNAL_H_

@@ -124,6 +124,8 @@ class PayloadArena {
   /// 8-byte host-order double (Laplace scalars).
   ReportId AppendScalar(NodeId origin, double value) {
     uint8_t buf[sizeof(double)];
+    // ns-lint: allow(wire): host-order typed-payload encode — arena columns
+    // never cross a process boundary (the sharded exchange ships report IDS)
     std::memcpy(buf, &value, sizeof(double));
     return Append(origin, buf, sizeof(buf));
   }
@@ -131,12 +133,14 @@ class PayloadArena {
   /// 4-byte host-order uint32 (k-RR histogram buckets).
   ReportId AppendBucket(NodeId origin, uint32_t bucket) {
     uint8_t buf[sizeof(uint32_t)];
+    // ns-lint: allow(wire): host-order typed-payload encode, in-process only
     std::memcpy(buf, &bucket, sizeof(uint32_t));
     return Append(origin, buf, sizeof(buf));
   }
 
   /// d consecutive host-order doubles (PrivUnit d-dim vectors).
   ReportId AppendVector(NodeId origin, const std::vector<double>& v) {
+    // ns-lint: allow(wire): byte view of a local double column, not framing
     return Append(origin, reinterpret_cast<const uint8_t*>(v.data()),
                   v.size() * sizeof(double));
   }
@@ -253,6 +257,8 @@ class PayloadArena {
   double ScalarAt(ReportId r) const {
     const PayloadSpan s = Checked(r, sizeof(double), "ScalarAt");
     double value;
+    // ns-lint: allow(wire): host-order typed-payload decode, the inverse of
+    // AppendScalar — same process, same byte order by construction
     std::memcpy(&value, s.data(), sizeof(double));
     return value;
   }
@@ -260,6 +266,7 @@ class PayloadArena {
   uint32_t BucketAt(ReportId r) const {
     const PayloadSpan s = Checked(r, sizeof(uint32_t), "BucketAt");
     uint32_t bucket;
+    // ns-lint: allow(wire): host-order typed-payload decode, in-process only
     std::memcpy(&bucket, s.data(), sizeof(uint32_t));
     return bucket;
   }
@@ -272,6 +279,7 @@ class PayloadArena {
                        " bytes, not a whole number of doubles");
     }
     std::vector<double> v(s.size() / sizeof(double));
+    // ns-lint: allow(wire): host-order typed-payload decode, in-process only
     std::memcpy(v.data(), s.data(), s.size());
     return v;
   }

@@ -1,6 +1,7 @@
 #include "shuffle/pki.h"
 
 #include <string>
+#include <utility>
 
 #include "core/status.h"
 #include "util/rng.h"
@@ -8,26 +9,15 @@
 namespace netshuffle {
 
 void Pki::RegisterUsers(uint32_t n) {
-  Rng rng(seed_ ^ 0xbeefULL);
   user_keys_.resize(n);
-  for (uint32_t u = 0; u < n; ++u) user_keys_[u] = rng.Next();
+  for (uint32_t u = 0; u < n; ++u) {
+    user_keys_[u] = DeriveAeadKey(seed_ ^ 0xbeefULL, u);
+  }
 }
 
 void Pki::RegisterServer() {
-  Rng rng(seed_ ^ 0x5e7e7ULL);
-  server_key_ = rng.Next();
+  server_key_ = DeriveAeadKey(seed_ ^ 0x5e7e7ULL, 0);
   server_registered_ = true;
-}
-
-Bytes XorStream(const Bytes& data, uint64_t key, uint64_t nonce) {
-  Bytes out(data.size());
-  uint64_t state = key ^ (nonce * 0x9e3779b97f4a7c15ULL);
-  uint64_t block = 0;
-  for (size_t i = 0; i < data.size(); ++i) {
-    if (i % 8 == 0) block = SplitMix64(&state);
-    out[i] = data[i] ^ static_cast<uint8_t>(block >> ((i % 8) * 8));
-  }
-  return out;
 }
 
 namespace {
@@ -35,6 +25,12 @@ namespace {
 // Shared relay core: message i (any byte length) enters the walk at
 // first_holder(i) carrying bytes(i).  The two overloads below only differ
 // in where the plaintexts and first holders come from.
+//
+// An authentication failure anywhere in this honest relay means the relay
+// itself mis-keyed or mis-sequenced a layer — a contract violation, so it
+// fatals rather than delivering a payload whose provenance it cannot vouch
+// for.  (Adversarial tampering is exercised directly against the AEAD in
+// tests/test_pki.cc.)
 template <typename FirstHolderFn, typename BytesFn>
 SecureRelayResult RelaySession(const Graph& g, Pki* pki, size_t count,
                                FirstHolderFn first_holder, BytesFn bytes,
@@ -67,23 +63,25 @@ SecureRelayResult RelaySession(const Graph& g, Pki* pki, size_t count,
   SecureRelayResult result;
 
   struct Ciphertext {
-    uint64_t nonce;  // inner-layer nonce, carried alongside c1
-    Bytes c1;        // payload under the server key
+    uint64_t nonce;  // per-message nonce, fixed for the message's lifetime
+    uint32_t layer;  // wrap counter: outer layer's AEAD layer index
+    Bytes sealed;    // c1 (server layer 0) under the holder's outer layer
   };
 
-  // Each message's source builds c1 and hands it (under the holder's outer
-  // layer, which we apply and strip per hop) to the first holder.
+  // Each message's source seals c1 under the server key (layer 0) and
+  // hands it to the first holder under that holder's outer layer (layer 1).
   std::vector<std::vector<Ciphertext>> held(n);
   for (size_t i = 0; i < count; ++i) {
     const NodeId u = first_holder(i);
     Ciphertext ct;
     ct.nonce = rng.Next();
-    ct.c1 = XorStream(bytes(i), pki->ServerKey(), ct.nonce);
-    // Outer layer for the first holder.
-    ct.c1 = XorStream(ct.c1, pki->UserKey(u), ct.nonce);
+    ct.layer = 1;
+    const Bytes c1 = AeadSeal(pki->ServerKey(), ct.nonce, 0, bytes(i));
+    ct.sealed = AeadSeal(pki->UserKey(u), ct.nonce, ct.layer, c1);
     held[u].push_back(std::move(ct));
   }
 
+  Bytes inner;
   std::vector<std::vector<Ciphertext>> next(n);
   for (size_t round = 0; round < rounds; ++round) {
     for (auto& h : next) h.clear();
@@ -95,9 +93,16 @@ SecureRelayResult RelaySession(const Graph& g, Pki* pki, size_t count,
           continue;
         }
         const NodeId dest = g.neighbors_begin(u)[rng.UniformInt(deg)];
-        // Strip our outer layer, re-wrap for the next holder.
-        ct.c1 = XorStream(ct.c1, pki->UserKey(u), ct.nonce);
-        ct.c1 = XorStream(ct.c1, pki->UserKey(dest), ct.nonce);
+        // Authenticate + strip our outer layer, re-wrap for the next
+        // holder under a fresh layer counter (never reuses a (key, nonce,
+        // layer) triple even when the walk revisits a holder).
+        if (!AeadOpen(pki->UserKey(u), ct.nonce, ct.layer, ct.sealed,
+                      &inner)) {
+          NETSHUFFLE_FATAL("secure relay: outer layer failed to "
+                           "authenticate at hop (relay invariant broken)");
+        }
+        ++ct.layer;
+        ct.sealed = AeadSeal(pki->UserKey(dest), ct.nonce, ct.layer, inner);
         next[dest].push_back(std::move(ct));
         ++result.relay_hops;
       }
@@ -105,12 +110,21 @@ SecureRelayResult RelaySession(const Graph& g, Pki* pki, size_t count,
     held.swap(next);
   }
 
-  // Submission: final holders strip their outer layer; the server strips c1.
+  // Submission: final holders authenticate + strip their outer layer; the
+  // server authenticates + strips c1.
   for (NodeId u = 0; u < n; ++u) {
     for (Ciphertext& ct : held[u]) {
-      ct.c1 = XorStream(ct.c1, pki->UserKey(u), ct.nonce);
-      result.delivered_payloads.push_back(
-          XorStream(ct.c1, pki->ServerKey(), ct.nonce));
+      if (!AeadOpen(pki->UserKey(u), ct.nonce, ct.layer, ct.sealed,
+                    &inner)) {
+        NETSHUFFLE_FATAL("secure relay: outer layer failed to authenticate "
+                         "at submission (relay invariant broken)");
+      }
+      Bytes payload;
+      if (!AeadOpen(pki->ServerKey(), ct.nonce, 0, inner, &payload)) {
+        NETSHUFFLE_FATAL("secure relay: server layer failed to authenticate "
+                         "(relay invariant broken)");
+      }
+      result.delivered_payloads.push_back(std::move(payload));
     }
   }
   return result;

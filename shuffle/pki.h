@@ -1,8 +1,15 @@
-// Toy PKI and the Figure-3 secure relay session: every payload is wrapped in
-// an inner layer for the server (c1) and, per hop, an outer layer for the
-// current holder (c2).  The "cipher" is a seeded XOR keystream — NOT real
-// cryptography, but it exercises the full two-layer encrypt/relay/decrypt
-// data path and fails loudly (garbage payloads) if any layer is mishandled.
+// PKI and the Figure-3 secure relay session: every payload is wrapped in an
+// inner layer for the server (c1) and, per hop, an outer layer for the
+// current holder (c2).  Layers are real AEAD — ChaCha20-Poly1305
+// (shuffle/aead.h) — so a mishandled layer, a wrong key, or any transcript
+// tampering is DETECTED (authentication failure), not silently garbled.
+// Each wrap adds a 16-byte tag and each strip removes one, so a relayed
+// ciphertext holds a constant two layers (payload + 32 bytes) at every hop.
+//
+// Keys are derived deterministically from the PKI seed (simulation stand-in
+// for the public-key handshake; a deployment would provision random keys
+// behind the same interface).  Nonce discipline lives in shuffle/aead.h:
+// one message nonce per payload, a layer counter bumped on every wrap.
 
 #ifndef NETSHUFFLE_SHUFFLE_PKI_H_
 #define NETSHUFFLE_SHUFFLE_PKI_H_
@@ -12,6 +19,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "shuffle/aead.h"
 #include "shuffle/payload.h"
 #include "shuffle/protocol.h"
 
@@ -28,21 +36,17 @@ class Pki {
   size_t num_users() const { return user_keys_.size(); }
   bool server_registered() const { return server_registered_; }
 
-  /// Symmetric key shared with user u (simulation stand-in for the
+  /// 256-bit AEAD key shared with user u (simulation stand-in for the
   /// public-key handshake).
-  uint64_t UserKey(uint32_t u) const { return user_keys_[u]; }
-  uint64_t ServerKey() const { return server_key_; }
+  const AeadKey& UserKey(uint32_t u) const { return user_keys_[u]; }
+  const AeadKey& ServerKey() const { return server_key_; }
 
  private:
   uint64_t seed_;
-  std::vector<uint64_t> user_keys_;
-  uint64_t server_key_ = 0;
+  std::vector<AeadKey> user_keys_;
+  AeadKey server_key_;
   bool server_registered_ = false;
 };
-
-/// XOR-keystream "encryption" primitive used by the relay (exposed for
-/// tests); Apply(Apply(x)) == x.
-Bytes XorStream(const Bytes& data, uint64_t key, uint64_t nonce);
 
 struct SecureRelayResult {
   /// Server-side decrypted payloads, in final-holder submission order (i.e.
@@ -52,12 +56,17 @@ struct SecureRelayResult {
   size_t relay_hops = 0;
 };
 
-/// Runs one full secure-relay session: onion-wrap every payload, walk the
-/// ciphertexts `rounds` hops (re-wrapping the outer layer per hop), submit to
-/// the server, and decrypt there.  Payloads may be any length, including
-/// different lengths per user (the XOR keystream is length-preserving).
-/// Requires pki->RegisterUsers(n) for n == g.num_nodes() and
-/// RegisterServer() beforehand.  payloads[u] starts at holder u.
+/// Runs one full secure-relay session: onion-wrap every payload (inner
+/// server layer + outer holder layer), walk the ciphertexts `rounds` hops —
+/// each hop authenticates and strips the outer layer, then re-wraps for the
+/// next holder — submit to the server, and open both layers there.  Any
+/// authentication failure along the honest relay is a fatal internal error
+/// (an honest transcript always verifies; tamper detection itself is pinned
+/// by tests/test_pki.cc at the AEAD layer).  Payloads may be any length,
+/// including different lengths per user; each delivered ciphertext carries
+/// a constant 32 bytes of tag overhead.  Requires pki->RegisterUsers(n) for
+/// n == g.num_nodes() and RegisterServer() beforehand.  payloads[u] starts
+/// at holder u.
 SecureRelayResult RunSecureRelaySession(const Graph& g, Pki* pki,
                                         const std::vector<Bytes>& payloads,
                                         size_t rounds, uint64_t seed);

@@ -1,0 +1,439 @@
+#include "shuffle/sharded.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "shuffle/engine_internal.h"
+#include "shuffle/wire.h"
+
+namespace netshuffle {
+
+namespace {
+
+// Contiguous ownership map: shard s owns users [s*n/S, (s+1)*n/S) — the
+// same formula the serial engine uses for its scheduling shards, so the
+// "ascending shard ranges = ascending users" placement argument carries
+// over verbatim.
+std::vector<uint32_t> ShardBounds(size_t n, size_t shards) {
+  std::vector<uint32_t> bounds(shards + 1);
+  for (size_t s = 0; s <= shards; ++s) {
+    // ns-lint: allow(narrow32): s*n/shards <= n, and n is a u32 NodeId count
+    bounds[s] = static_cast<uint32_t>(s * n / shards);
+  }
+  return bounds;
+}
+
+/// Owner of user d under `bounds`.  The arithmetic guess d*S/n is within
+/// one of the floor-division bounds; the fixup loops run at most once.
+size_t ShardOf(uint32_t d, size_t n, size_t shards,
+               const std::vector<uint32_t>& bounds) {
+  size_t s = std::min(shards - 1, static_cast<size_t>(d) * shards / n);
+  while (d < bounds[s]) --s;
+  while (d >= bounds[s + 1]) ++s;
+  return s;
+}
+
+// Everything a shard worker reads from the coordinator's address space.
+// Under the process transport the worker is a forked child: all of this is
+// inherited copy-on-write and treated as strictly read-only (the child's
+// results travel back through its kResult frame, never shared memory).
+struct ShardedRun {
+  const Graph* g = nullptr;
+  const ExchangeOptions* options = nullptr;
+  const uint32_t* global_offsets = nullptr;  // prior CSR, n + 1 entries
+  const ReportId* global_arena = nullptr;    // prior arena, `total` entries
+  size_t n = 0;
+  size_t total = 0;
+  size_t shards = 0;
+  std::vector<uint32_t> bounds;
+};
+
+// Per-worker stats shipped home in the result frame.
+struct WorkerStats {
+  uint64_t messages = 0;
+  uint64_t cross_reports = 0;
+  uint64_t cross_bytes = 0;
+};
+
+/// The shard worker body: options.rounds rounds of hop -> coalesce ->
+/// exchange -> counting-sort scatter over this shard's user range, then one
+/// kResult frame with the final local state.  Every Send/Recv failure
+/// propagates as the typed Status RunShardWorkers turns into the run's
+/// kTransportError.
+Status ShardWorkerBody(const ShardedRun& run, size_t s, Endpoint& ep) {
+  const Graph& g = *run.g;
+  const ExchangeOptions& options = *run.options;
+  const size_t shards = run.shards;
+  const uint32_t lo = run.bounds[s], hi = run.bounds[s + 1];
+  const size_t ln = hi - lo;
+  const bool want_metrics = options.metrics != nullptr;
+
+  // Local state: this shard's contiguous slice of the global CSR + arena,
+  // rebased so offsets start at 0.
+  const uint32_t base = run.global_offsets[lo];
+  std::vector<ReportId> arena(run.global_arena + base,
+                              run.global_arena + run.global_offsets[hi]);
+  std::vector<uint32_t> offsets(ln + 1);
+  for (size_t u = 0; u <= ln; ++u) {
+    offsets[u] = run.global_offsets[lo + u] - base;
+  }
+
+  // Scratch mirroring the serial engine's workspace, but local-sized where
+  // possible.  hop_count is the one global-sized row: the hop kernel's
+  // histogram contract spans all n destinations (the row is scratch here —
+  // routing uses the per-(source shard, local user) rows below).
+  std::vector<uint32_t> holder_v(ln + 2), holder_b(ln + 2);
+  std::vector<uint32_t> hop_count(run.n);
+  std::vector<uint32_t> dests;
+  std::vector<uint64_t> streams(engine_internal::kHopTileHolders);
+  std::vector<uint64_t> firsts(engine_internal::kHopTileHolders);
+  std::vector<uint32_t> multi(engine_internal::kHopTileHolders);
+  std::vector<uint64_t> coins;
+  std::vector<const NodeId*> addrs;
+  std::vector<std::pair<NodeId, uint64_t>> traffic;
+
+  // Per-destination-shard outgoing batches and the matching incoming ones;
+  // slot s holds the shard's own (never-sent) batch so the scatter below
+  // can walk source shards 0..S-1 uniformly.
+  std::vector<std::vector<uint32_t>> out_ids(shards), out_dests(shards);
+  std::vector<std::vector<uint32_t>> in_ids(shards), in_dests(shards);
+  std::vector<uint32_t> counts(shards * ln);
+  std::vector<uint32_t> next_offsets(ln + 1);
+  std::vector<ReportId> next_arena;
+
+  std::vector<uint64_t> user_traffic;
+  std::vector<uint32_t> user_peak;
+  if (want_metrics) {
+    // Peaks start at zero, not the prior holdings: like the serial engine,
+    // a resume call observes holdings only AFTER each of its rounds (the
+    // prior state was observed by whoever produced it), so the merged
+    // ShuffleMetrics match the serial run observation-for-observation.
+    user_traffic.assign(ln, 0);
+    user_peak.assign(ln, 0);
+  }
+
+  WorkerStats stats;
+  wire::Writer writer;
+
+  for (size_t step = 0; step < options.rounds; ++step) {
+    const size_t round = options.first_round + step;
+    const uint32_t held = offsets[ln];
+
+    // Holder list over the local range (global user ids, local arena
+    // offsets) — branch-free build, sentinel-terminated, exactly the
+    // structure the hop kernel iterates in the serial engine.
+    size_t num_holders = 0;
+    for (size_t u = 0; u < ln; ++u) {
+      // ns-lint: allow(narrow32): u < ln <= n, a u32 NodeId count
+      holder_v[num_holders] = lo + static_cast<uint32_t>(u);
+      holder_b[num_holders] = offsets[u];
+      num_holders += (offsets[u + 1] > offsets[u]) ? 1 : 0;
+    }
+    // ns-lint: allow(narrow32): n is a u32 NodeId count (sentinel value)
+    holder_v[num_holders] = static_cast<uint32_t>(run.n);  // sentinel
+    holder_b[num_holders] = held;
+
+    // Local hop: the PR 7 batched kernel, unmodified.  Destinations are
+    // global user ids; draws come from per-(seed, round, user) streams, so
+    // they cannot depend on the shard partition.
+    dests.resize(held);
+    engine_internal::HopShard(g, options, round, 0, num_holders,
+                              holder_v.data(), holder_b.data(),
+                              hop_count.data(), run.n, dests.data(),
+                              streams.data(), firsts.data(), multi.data(),
+                              &coins, &addrs, &traffic);
+
+    // Coalesce: one (ids, dests) batch per destination shard, in local
+    // arena order — the order half of the bit-identity argument.
+    for (size_t d = 0; d < shards; ++d) {
+      out_ids[d].clear();
+      out_dests[d].clear();
+    }
+    for (uint32_t i = 0; i < held; ++i) {
+      const uint32_t dd = dests[i];
+      const size_t q = ShardOf(dd, run.n, shards, run.bounds);
+      out_ids[q].push_back(arena[i]);
+      out_dests[q].push_back(dd);
+    }
+
+    // Exchange: exactly one frame to every other shard, empty or not —
+    // that is what keeps messages-per-round at shards^2 and lets the
+    // receive loop below expect exactly shards-1 frames with no timeouts.
+    for (size_t d = 0; d < shards; ++d) {
+      if (d == s) continue;
+      wire::EncodeBatch(out_ids[d].data(), out_dests[d].data(),
+                        out_ids[d].size(), &writer);
+      // ns-lint: allow(narrow32): the wire round field is u32; epoch-local
+      // rounds are capped below 2^32 (core/session.h PackProgress)
+      Status st = ep.Send(static_cast<uint16_t>(d), wire::FrameKind::kBatch,
+                          static_cast<uint32_t>(round), writer.data(),
+                          writer.size());
+      if (!st.ok()) return st;
+      ++stats.messages;
+      stats.cross_reports += out_ids[d].size();
+      stats.cross_bytes += wire::kHeaderBytes + writer.size();
+    }
+    in_ids[s].swap(out_ids[s]);
+    in_dests[s].swap(out_dests[s]);
+    for (size_t q = 0; q < shards; ++q) {
+      if (q == s) continue;
+      wire::FrameHeader h;
+      Bytes payload;
+      Status st = ep.Recv(static_cast<uint16_t>(q), &h, &payload);
+      if (!st.ok()) return st;
+      // ns-lint: allow(narrow32): u32 wire round field, same bound as Send
+      if (h.kind != wire::FrameKind::kBatch ||
+          h.round != static_cast<uint32_t>(round)) {
+        return wire::TransportError(
+            "shard " + std::to_string(s) + " got an out-of-protocol frame " +
+            "from shard " + std::to_string(q) + " in round " +
+            std::to_string(round));
+      }
+      st = wire::DecodeBatch(payload.data(), payload.size(), &in_ids[q],
+                             &in_dests[q]);
+      if (!st.ok()) return st;
+    }
+
+    // Counting sort of the received batches, mirroring the serial prefix
+    // pass: per-(source shard, local destination) loads, one running sum
+    // visiting source shards ascending within each destination, then the
+    // unmodified scatter kernel per source batch.  Destinations are rebased
+    // to local indices in the counting pass (the scatter kernel's cursor
+    // row is local-sized).
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t q = 0; q < shards; ++q) {
+      uint32_t* row = counts.data() + q * ln;
+      std::vector<uint32_t>& batch_dests = in_dests[q];
+      for (size_t j = 0; j < batch_dests.size(); ++j) {
+        const uint32_t dd = batch_dests[j];
+        if (dd < lo || dd >= hi) {
+          return wire::TransportError(
+              "shard " + std::to_string(s) + " received report for user " +
+              std::to_string(dd) + " outside its range");
+        }
+        const uint32_t dl = dd - lo;
+        batch_dests[j] = dl;
+        ++row[dl];
+      }
+    }
+    uint32_t run_sum = 0;
+    for (size_t u = 0; u < ln; ++u) {
+      next_offsets[u] = run_sum;
+      for (size_t q = 0; q < shards; ++q) {
+        uint32_t& slot = counts[q * ln + u];
+        const uint32_t load = slot;
+        slot = run_sum;
+        run_sum += load;
+      }
+    }
+    next_offsets[ln] = run_sum;
+    next_arena.resize(run_sum);
+    for (size_t q = 0; q < shards; ++q) {
+      // ns-lint: allow(narrow32): a batch holds at most n u32 report ids
+      engine_internal::ScatterShard(
+          counts.data() + q * ln, 0,
+          static_cast<uint32_t>(in_ids[q].size()), in_dests[q].data(),
+          in_ids[q].data(), next_arena.data());
+    }
+    arena.swap(next_arena);
+    offsets.swap(next_offsets);
+
+    if (want_metrics) {
+      for (const std::pair<NodeId, uint64_t>& t : traffic) {
+        user_traffic[t.first - lo] += t.second;
+      }
+      for (size_t u = 0; u < ln; ++u) {
+        const uint32_t now = offsets[u + 1] - offsets[u];
+        if (now > user_peak[u]) user_peak[u] = now;
+      }
+    }
+  }
+
+  // Result frame: the shard's final local CSR + arena, its communication
+  // counters, and (when requested) its per-user metrics columns.
+  writer.Clear();
+  // ns-lint: allow(narrow32): s < kMaxTransportShards = 64
+  writer.U32(static_cast<uint32_t>(s));
+  writer.U32(lo);
+  writer.U32(hi);
+  writer.U8(want_metrics ? 1 : 0);
+  writer.U64(stats.messages);
+  writer.U64(stats.cross_reports);
+  writer.U64(stats.cross_bytes);
+  writer.U32(offsets[ln]);
+  writer.U32Array(offsets.data(), ln + 1);
+  writer.U32Array(arena.data(), offsets[ln]);
+  if (want_metrics) {
+    writer.U64Array(user_traffic.data(), ln);
+    writer.U32Array(user_peak.data(), ln);
+  }
+  // ns-lint: allow(narrow32): u32 wire round field, same bound as the hops
+  return ep.Send(wire::kCoordinator, wire::FrameKind::kResult,
+                 static_cast<uint32_t>(options.rounds), writer.data(),
+                 writer.size());
+}
+
+}  // namespace
+
+Status ShardedResumeExchange(const Graph& g, ExchangeResult* state,
+                             const ExchangeOptions& options,
+                             const ShardedOptions& sharded,
+                             ShardedStats* stats) {
+  const Status valid = ValidateExchangeOptions(options);
+  if (!valid.ok()) NETSHUFFLE_FATAL(valid.ToString());
+  if (options.first_round != state->rounds) {
+    NETSHUFFLE_FATAL("ShardedResumeExchange: options.first_round (" +
+                     std::to_string(options.first_round) +
+                     ") must equal the rounds already executed (" +
+                     std::to_string(state->rounds) + ")");
+  }
+  if (state->holdings.hosted()) {
+    // The out-of-core tier (mmap-hosted stores) and the multi-process tier
+    // are separate scaling axes; Session::Validate reports the combination
+    // as a typed error before it can reach this fatal.
+    NETSHUFFLE_FATAL(
+        "ShardedResumeExchange: hosted (mmap-backed) stores are not "
+        "supported by the sharded engine; unhost or run serial");
+  }
+
+  const size_t n = g.num_nodes();
+  const size_t shards =
+      std::max<size_t>(1, std::min({sharded.shards, n, kMaxTransportShards}));
+
+  // One shard over the in-process transport IS the serial engine — no
+  // workers, no frames, no copies.  The seam costs nothing when unused
+  // (pinned within 5% by the bench gate).  A single process-transport
+  // shard still forks its worker, exercising the relay end to end.
+  if (shards <= 1 && sharded.transport == TransportKind::kLoopback) {
+    if (stats != nullptr) {
+      stats->shards = 1;
+      stats->rounds += options.rounds;
+    }
+    *state = ResumeExchange(g, std::move(*state), options);
+    return Status::Ok();
+  }
+
+  if (n == 0) {
+    state->rounds += options.rounds;
+    return Status::Ok();
+  }
+
+  // *state is strictly read-only until the success path at the bottom: any
+  // transport error below returns with it untouched.
+  const size_t total = state->holdings.num_reports();
+  ShardedRun run;
+  run.g = &g;
+  run.options = &options;
+  run.global_offsets = state->holdings.offsets_data();
+  run.global_arena = state->holdings.arena_data();
+  run.n = n;
+  run.total = total;
+  run.shards = shards;
+  run.bounds = ShardBounds(n, shards);
+
+  Expected<std::vector<Bytes>> worker_results = RunShardWorkers(
+      sharded.transport, shards, [&run](size_t s, Endpoint& ep) {
+        return ShardWorkerBody(run, s, ep);
+      });
+  if (!worker_results.ok()) return worker_results.status();
+
+  // Gather: decode every shard's result, splice its local CSR + arena into
+  // the global store (rebasing offsets), and merge metrics in shard order.
+  // Decode errors are transport errors: the frames were checksummed, so a
+  // malformed result means a worker broke protocol, not memory.
+  ReportStore next;
+  next.AllocateFor(n, total);
+  uint32_t* offsets = next.mutable_offsets();
+  ReportId* arena = next.mutable_arena();
+  uint64_t messages = 0, cross_reports = 0, cross_bytes = 0;
+  std::vector<uint32_t> local_offsets;
+  std::vector<uint64_t> local_traffic;
+  std::vector<uint32_t> local_peak;
+  uint32_t spliced = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const Bytes& payload = worker_results.value()[s];
+    wire::Reader r(payload.data(), payload.size());
+    uint32_t shard_id = 0, lo = 0, hi = 0, local_reports = 0;
+    uint8_t has_metrics = 0;
+    uint64_t w_messages = 0, w_cross_reports = 0, w_cross_bytes = 0;
+    Status st = r.U32(&shard_id);
+    if (st.ok()) st = r.U32(&lo);
+    if (st.ok()) st = r.U32(&hi);
+    if (st.ok()) st = r.U8(&has_metrics);
+    if (st.ok()) st = r.U64(&w_messages);
+    if (st.ok()) st = r.U64(&w_cross_reports);
+    if (st.ok()) st = r.U64(&w_cross_bytes);
+    if (st.ok()) st = r.U32(&local_reports);
+    if (!st.ok()) return st;
+    if (shard_id != s || lo != run.bounds[s] || hi != run.bounds[s + 1] ||
+        local_reports > total - spliced) {
+      return wire::TransportError("shard " + std::to_string(s) +
+                                  " result header is inconsistent with the "
+                                  "ownership map");
+    }
+    const size_t ln = hi - lo;
+    local_offsets.resize(ln + 1);
+    st = r.U32Array(local_offsets.data(), ln + 1);
+    if (!st.ok()) return st;
+    if (local_offsets[0] != 0 || local_offsets[ln] != local_reports) {
+      return wire::TransportError("shard " + std::to_string(s) +
+                                  " result CSR is malformed");
+    }
+    for (size_t u = 0; u < ln; ++u) {
+      if (local_offsets[u + 1] < local_offsets[u]) {
+        return wire::TransportError("shard " + std::to_string(s) +
+                                    " result CSR is not monotone");
+      }
+      offsets[lo + u] = spliced + local_offsets[u];
+    }
+    st = r.U32Array(arena + spliced, local_reports);
+    if (!st.ok()) return st;
+    spliced += local_reports;
+
+    if ((options.metrics != nullptr) != (has_metrics != 0)) {
+      return wire::TransportError("shard " + std::to_string(s) +
+                                  " metrics flag mismatch");
+    }
+    if (has_metrics != 0) {
+      local_traffic.resize(ln);
+      local_peak.resize(ln);
+      st = r.U64Array(local_traffic.data(), ln);
+      if (st.ok()) st = r.U32Array(local_peak.data(), ln);
+      if (!st.ok()) return st;
+      for (size_t u = 0; u < ln; ++u) {
+        options.metrics->AddUserTraffic(lo + static_cast<NodeId>(u),
+                                        local_traffic[u]);
+        options.metrics->ObserveUserHoldings(lo + static_cast<NodeId>(u),
+                                             local_peak[u]);
+      }
+    }
+    if (!r.AtEnd()) {
+      return wire::TransportError("shard " + std::to_string(s) +
+                                  " result has trailing bytes");
+    }
+    messages += w_messages;
+    cross_reports += w_cross_reports;
+    cross_bytes += w_cross_bytes;
+  }
+  if (spliced != total) {
+    return wire::TransportError(
+        "sharded exchange lost reports: " + std::to_string(spliced) +
+        " gathered of " + std::to_string(total));
+  }
+  offsets[n] = spliced;
+  state->holdings.SwapWith(&next);
+  state->rounds += options.rounds;
+
+  if (stats != nullptr) {
+    stats->shards = shards;
+    stats->rounds += options.rounds;
+    stats->messages += messages;
+    stats->cross_shard_reports += cross_reports;
+    stats->cross_shard_bytes += cross_bytes;
+  }
+  return Status::Ok();
+}
+
+}  // namespace netshuffle

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/generators.h"
+#include "shuffle/aead.h"
 #include "shuffle/payload.h"
 #include "tests/test_util.h"
 
@@ -11,17 +12,70 @@ using namespace netshuffle;
 using netshuffle_test::ExpectDeath;
 
 int main() {
-  // XOR stream is an involution and actually changes the data.
-  const Bytes msg{1, 2, 3, 200, 255, 0, 7};
-  const Bytes enc = XorStream(msg, 0xdeadbeefULL, 42);
-  CHECK(enc != msg);
-  CHECK(XorStream(enc, 0xdeadbeefULL, 42) == msg);
-  // Wrong key or nonce does not decrypt.
-  CHECK(XorStream(enc, 0xdeadbee0ULL, 42) != msg);
-  CHECK(XorStream(enc, 0xdeadbeefULL, 43) != msg);
+  // ---- AEAD seal/open round-trip ------------------------------------------
+  const AeadKey key = DeriveAeadKey(0xdeadbeefULL, 7);
+  const AeadKey other_key = DeriveAeadKey(0xdeadbeefULL, 8);
+  CHECK(key.bytes != other_key.bytes);
 
-  // Full secure relay session: all payloads survive the two-layer onion
-  // path byte-for-byte (as a multiset), shuffled across holders.
+  const Bytes msg{1, 2, 3, 200, 255, 0, 7};
+  const Bytes sealed = AeadSeal(key, /*nonce=*/42, /*layer=*/1, msg);
+  CHECK(sealed.size() == msg.size() + kAeadTagBytes);
+  // The ciphertext prefix is not the plaintext.
+  CHECK(!std::equal(msg.begin(), msg.end(), sealed.begin()));
+
+  Bytes opened;
+  CHECK(AeadOpen(key, 42, 1, sealed, &opened));
+  CHECK(opened == msg);
+
+  // Empty plaintexts are legal: a tag-only ciphertext that still
+  // authenticates.
+  const Bytes empty_sealed = AeadSeal(key, 42, 2, Bytes{});
+  CHECK(empty_sealed.size() == kAeadTagBytes);
+  CHECK(AeadOpen(key, 42, 2, empty_sealed, &opened));
+  CHECK(opened.empty());
+
+  // Deterministic: the same (key, nonce, layer, plaintext) seals to the same
+  // bytes, and a different nonce or layer produces different bytes.
+  CHECK(AeadSeal(key, 42, 1, msg) == sealed);
+  CHECK(AeadSeal(key, 43, 1, msg) != sealed);
+  CHECK(AeadSeal(key, 42, 2, msg) != sealed);
+
+  // ---- Tamper DETECTION (not just garbling) -------------------------------
+  // Wrong key / wrong nonce / wrong layer: authentication fails and the
+  // output is cleared, never a garbled plaintext.
+  opened = Bytes{99};
+  CHECK(!AeadOpen(other_key, 42, 1, sealed, &opened));
+  CHECK(opened.empty());
+  CHECK(!AeadOpen(key, 41, 1, sealed, &opened));
+  CHECK(!AeadOpen(key, 42, 0, sealed, &opened));
+
+  // EVERY single-bit flip across the whole sealed buffer — ciphertext bytes
+  // and tag bytes alike — is detected.
+  for (size_t byte = 0; byte < sealed.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes tampered = sealed;
+      tampered[byte] = static_cast<uint8_t>(tampered[byte] ^ (1u << bit));
+      opened = Bytes{99};
+      CHECK(!AeadOpen(key, 42, 1, tampered, &opened));
+      CHECK(opened.empty());
+    }
+  }
+
+  // Truncation at every length (including below the tag size) is rejected.
+  for (size_t len = 0; len < sealed.size(); ++len) {
+    Bytes truncated(sealed.begin(), sealed.begin() + len);
+    CHECK(!AeadOpen(key, 42, 1, truncated, &opened));
+  }
+  // Extension is rejected too (the extra byte changes the MAC'd length).
+  {
+    Bytes extended = sealed;
+    extended.push_back(0);
+    CHECK(!AeadOpen(key, 42, 1, extended, &opened));
+  }
+
+  // ---- Full secure relay session ------------------------------------------
+  // All payloads survive the two-layer onion path byte-for-byte (as a
+  // multiset), shuffled across holders.
   const size_t n = 256;
   Graph g = MakeCirculant(n, 8);
   Pki pki(7);
@@ -73,30 +127,23 @@ int main() {
     std::sort(out_sorted.begin(), out_sorted.end());
     CHECK(in_sorted == out_sorted);
 
-    // Wrong-key garbling over the variable-length slices: wrap each slice
-    // under the real server key, decrypt under an independent PKI's server
-    // key — every non-empty slice must come out garbled, so the multiset of
-    // decrypted payloads cannot round-trip.
+    // A ciphertext sealed under one PKI's server key does not open under an
+    // independent PKI's — every slice (even the empty ones, whose tag-only
+    // ciphertexts still authenticate the key) is REJECTED, not garbled.
     Pki other(9001);
     other.RegisterUsers(static_cast<uint32_t>(n));
     other.RegisterServer();
-    CHECK(other.ServerKey() != pki.ServerKey());
-    size_t garbled = 0, nonempty = 0;
-    std::vector<Bytes> wrong_decrypts;
+    CHECK(other.ServerKey().bytes != pki.ServerKey().bytes);
     for (ReportId r = 0; r < static_cast<ReportId>(n); ++r) {
       const Bytes slice = arena.payload(r).ToBytes();
       const uint64_t nonce = 1000 + r;
-      const Bytes c1 = XorStream(slice, pki.ServerKey(), nonce);
-      const Bytes dec = XorStream(c1, other.ServerKey(), nonce);
-      wrong_decrypts.push_back(dec);
-      if (slice.empty()) continue;
-      ++nonempty;
-      if (dec != slice) ++garbled;
+      const Bytes c1 = AeadSeal(pki.ServerKey(), nonce, 0, slice);
+      Bytes dec;
+      CHECK(!AeadOpen(other.ServerKey(), nonce, 0, c1, &dec));
+      CHECK(dec.empty());
+      CHECK(AeadOpen(pki.ServerKey(), nonce, 0, c1, &dec));
+      CHECK(dec == slice);
     }
-    CHECK(nonempty > 0);
-    CHECK(garbled == nonempty);
-    std::sort(wrong_decrypts.begin(), wrong_decrypts.end());
-    CHECK(wrong_decrypts != in_sorted);
   }
 
   // ---- Relay input validation (fatal, not silent corruption) --------------

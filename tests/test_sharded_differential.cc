@@ -1,0 +1,385 @@
+// Differential harness for the sharded exchange (shuffle/sharded.cc,
+// DESIGN.md §11): for ANY shard count and EITHER transport, the final
+// (origin, payload, holder) state must be BIT-IDENTICAL to the serial
+// engine — which tests/test_kernel_differential.cc in turn pins against the
+// naive scalar schedule.  This test closes the chain end-to-end: the scalar
+// reference is recomputed here and the sharded engine is compared against
+// it element-by-element, over
+//
+//   NS_SHARDS-style worker counts {1, 2, 4} (1 + loopback is the
+//   delegation fast path — the seam must be free when unused),
+//   x thread counts {1, 4} (shard partitioning and thread partitioning are
+//     independent axes; neither may leak into placement),
+//   x graph shapes {k-regular, Barabasi-Albert, star, isolated users,
+//     tiny n < shards (the clamp), n == 1},
+//   x fault schedules {none, LazyFaultModel} (Awake coins shift every
+//     subsequent draw of the per-user stream),
+//   x BOTH transports (loopback threads and forked process workers carry
+//     the same frames),
+//   x one-shot AND Start/Resume splits (round streams are keyed on the
+//     absolute round, so chunking cannot change coins),
+//
+// plus metrics equivalence (the merged per-shard ShuffleMetrics must equal
+// the serial observation sequence), communication-cost invariants
+// (messages == shards * (shards - 1) * rounds, split-invariant stats), and
+// the Session-level integration: SetShards sessions step/finalize
+// identically to serial ones, and shards > 1 with mmap storage is a typed
+// kInvalidArgument at Validate/Create.
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "core/session.h"
+#include "graph/generators.h"
+#include "shuffle/engine.h"
+#include "shuffle/fault.h"
+#include "shuffle/payload.h"
+#include "shuffle/sharded.h"
+#include "shuffle/transport.h"
+#include "tests/test_util.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+using namespace netshuffle;
+
+namespace {
+
+// Variable-length patterned payloads, same convention as
+// tests/test_kernel_differential.cc: (u % 5) bytes keyed on u, so a report
+// swapped for a neighbor's changes both the origin column and the payload
+// bytes the comparison reads back.
+Bytes PatternPayload(NodeId u) {
+  Bytes b;
+  for (size_t i = 0; i < u % 5; ++i) {
+    b.push_back(static_cast<uint8_t>((u * 131 + i * 17) & 0xff));
+  }
+  return b;
+}
+
+PayloadArena PatternArena(size_t n) {
+  PayloadArena arena;
+  for (NodeId u = 0; u < n; ++u) {
+    CHECK(arena.Append(u, PatternPayload(u)) == u);
+  }
+  return arena;
+}
+
+// The naive scalar reference schedule (identical to the one pinned by
+// tests/test_kernel_differential.cc): ascending users, one fresh Rng per
+// (seed, round, user), Awake coin first, one UniformInt(degree) per held
+// report in holding order, push_back in ascending-sender order.
+std::vector<std::vector<ReportId>> ReferenceInit(size_t n) {
+  std::vector<std::vector<ReportId>> holdings(n);
+  for (NodeId u = 0; u < n; ++u) holdings[u].push_back(u);
+  return holdings;
+}
+
+void ReferenceRound(const Graph& g, size_t round, uint64_t seed,
+                    const FaultModel* faults,
+                    std::vector<std::vector<ReportId>>* holdings) {
+  const size_t n = g.num_nodes();
+  std::vector<std::vector<ReportId>> next(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const std::vector<ReportId>& held = (*holdings)[u];
+    if (held.empty()) continue;
+    Rng rng(ExchangeStreamSeed(seed, round, u));
+    const size_t deg = g.degree(u);
+    const bool awake = faults == nullptr || faults->Awake(u, round, &rng);
+    if (!awake || deg == 0) {
+      for (ReportId id : held) next[u].push_back(id);
+      continue;
+    }
+    const NodeId* nbr = g.neighbors_begin(u);
+    for (ReportId id : held) next[nbr[rng.UniformInt(deg)]].push_back(id);
+  }
+  holdings->swap(next);
+}
+
+// Element-identical: same id in every slot of every user's slice, resolving
+// to the same (origin, payload bytes) through the arena.
+void CheckIdentical(const ExchangeResult& ex,
+                    const std::vector<std::vector<ReportId>>& ref) {
+  CHECK(ex.holdings.num_users() == ref.size());
+  const PayloadArena& arena = *ex.payloads;
+  for (NodeId u = 0; u < ref.size(); ++u) {
+    const ReportSpan span = ex.holdings.reports(u);
+    CHECK(span.size() == ref[u].size());
+    for (size_t i = 0; i < span.size(); ++i) {
+      CHECK(span[i] == ref[u][i]);
+      CHECK(arena.origin(span[i]) == ref[u][i]);
+      CHECK(arena.payload(span[i]).ToBytes() == PatternPayload(ref[u][i]));
+    }
+  }
+}
+
+void CheckMetricsEqual(const ShuffleMetrics& a, const ShuffleMetrics& b) {
+  CHECK(a.max_user_traffic() == b.max_user_traffic());
+  CHECK(a.mean_user_traffic() == b.mean_user_traffic());
+  CHECK(a.max_user_memory() == b.max_user_memory());
+  CHECK(a.peak_entity_memory() == b.peak_entity_memory());
+}
+
+void CheckStatsEqual(const ShardedStats& a, const ShardedStats& b) {
+  CHECK(a.shards == b.shards);
+  CHECK(a.rounds == b.rounds);
+  CHECK(a.messages == b.messages);
+  CHECK(a.cross_shard_reports == b.cross_shard_reports);
+  CHECK(a.cross_shard_bytes == b.cross_shard_bytes);
+}
+
+// One differential case: serial engine + scalar reference once, then the
+// sharded engine over the shard x thread matrix — one-shot AND split into
+// Start/Resume chunks, with metrics and communication-cost checks.
+void RunCase(const char* name, const Graph& g, size_t rounds, uint64_t seed,
+             const FaultModel* faults, TransportKind transport) {
+  const size_t n = g.num_nodes();
+
+  // Scalar reference through every round, and the serial engine's metrics
+  // as the observation-sequence ground truth.
+  std::vector<std::vector<ReportId>> ref = ReferenceInit(n);
+  for (size_t r = 0; r < rounds; ++r) ReferenceRound(g, r, seed, faults, &ref);
+  ShuffleMetrics serial_metrics(n);
+  ExchangeResult serial = StartExchange(g, PatternArena(n), &serial_metrics);
+  {
+    ExchangeOptions whole;
+    whole.rounds = rounds;
+    whole.seed = seed;
+    whole.faults = faults;
+    whole.metrics = &serial_metrics;
+    serial = ResumeExchange(g, std::move(serial), whole);
+  }
+  CheckIdentical(serial, ref);
+
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    // The engine clamps to the population (and kMaxTransportShards, far
+    // away here); the stats invariants below are in terms of the clamp.
+    const size_t eff = std::max<size_t>(1, std::min(shards, n));
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      SetThreadCount(threads);
+
+      // One-shot sharded run.
+      ShuffleMetrics metrics(n);
+      ExchangeResult state = StartExchange(g, PatternArena(n), &metrics);
+      ShardedOptions sop;
+      sop.shards = shards;
+      sop.transport = transport;
+      ShardedStats stats;
+      ExchangeOptions whole;
+      whole.rounds = rounds;
+      whole.seed = seed;
+      whole.faults = faults;
+      whole.metrics = &metrics;
+      Status st = ShardedResumeExchange(g, &state, whole, sop, &stats);
+      CHECK(st.ok());
+      CHECK(state.rounds == rounds);
+      CheckIdentical(state, ref);
+      CheckMetricsEqual(metrics, serial_metrics);
+
+      // Communication-cost invariants: every ordered shard pair exchanges
+      // exactly one frame per round (empty or not), and nothing crosses
+      // the wire at one shard.
+      CHECK(stats.shards == eff);
+      CHECK(stats.rounds == rounds);
+      CHECK(stats.messages ==
+            static_cast<uint64_t>(eff) * (eff - 1) * rounds);
+      if (eff == 1) {
+        CHECK(stats.cross_shard_reports == 0);
+        CHECK(stats.cross_shard_bytes == 0);
+      } else {
+        // Every frame carries at least a header and a count word.
+        CHECK(stats.cross_shard_bytes >=
+              stats.messages * (wire::kHeaderBytes + 4));
+        CHECK(stats.cross_shard_reports <=
+              static_cast<uint64_t>(n) * rounds);
+      }
+
+      // Start/Resume split: chunked resumes of the same run must land on
+      // the same state AND the same accumulated stats (routing — hence
+      // cross-shard traffic — is deterministic).  Loopback steps
+      // round-by-round with an identity check per round; process splits
+      // into two uneven chunks (forking per round for every case would
+      // dominate the test's runtime without adding coverage).
+      std::vector<size_t> chunks;
+      if (transport == TransportKind::kLoopback) {
+        chunks.assign(rounds, 1);
+      } else if (rounds > 1) {
+        chunks = {1, rounds - 1};
+      } else {
+        chunks = {1};
+      }
+      ShuffleMetrics split_metrics(n);
+      ExchangeResult split = StartExchange(g, PatternArena(n), &split_metrics);
+      ShardedStats split_stats;
+      std::vector<std::vector<ReportId>> split_ref = ReferenceInit(n);
+      size_t done = 0;
+      for (size_t chunk : chunks) {
+        ExchangeOptions step;
+        step.rounds = chunk;
+        step.first_round = done;
+        step.seed = seed;
+        step.faults = faults;
+        step.metrics = &split_metrics;
+        CHECK(ShardedResumeExchange(g, &split, step, sop, &split_stats).ok());
+        for (size_t r = 0; r < chunk; ++r) {
+          ReferenceRound(g, done + r, seed, faults, &split_ref);
+        }
+        done += chunk;
+        CheckIdentical(split, split_ref);
+      }
+      CHECK(done == rounds);
+      CheckIdentical(split, ref);
+      CheckMetricsEqual(split_metrics, serial_metrics);
+      CheckStatsEqual(split_stats, stats);
+    }
+  }
+  SetThreadCount(0);
+  std::printf("ok: %-16s n=%zu rounds=%zu faults=%s transport=%s\n", name, n,
+              rounds, faults != nullptr ? "yes" : "no",
+              TransportKindName(transport));
+}
+
+Graph MakeStar(size_t n) {
+  std::vector<Edge> edges;
+  for (NodeId leaf = 1; leaf < n; ++leaf) edges.push_back({0, leaf});
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+// Session-level integration: a SetShards(2) session must step and finalize
+// identically to a serial one under any Step split, accumulate the
+// communication cost in sharded_stats(), and reject the shards + mmap
+// combination as a typed kInvalidArgument.
+void TestSessionSharded() {
+  Rng gen(424242);
+  const Graph g = MakeRandomRegular(120, 4, &gen);
+  const size_t kRounds = 8;
+
+  auto make_config = [&]() {
+    SessionConfig cfg;
+    cfg.SetGraph(g).SetRounds(kRounds).SetSeed(777);
+    return cfg;
+  };
+
+  SessionConfig serial_cfg = make_config();
+  serial_cfg.SetShards(1);
+  Expected<Session> serial = Session::Create(serial_cfg);
+  CHECK(serial.ok());
+  CHECK(serial.value().Step(3).ok());
+  CHECK(serial.value().Step(5).ok());
+  const ProtocolResult want = serial.value().Finalize();
+  // A serial session puts nothing on the wire.
+  CHECK(serial.value().shards() == 1);
+  CHECK(serial.value().sharded_stats().messages == 0);
+  CHECK(serial.value().sharded_stats().cross_shard_bytes == 0);
+
+  for (TransportKind transport :
+       {TransportKind::kLoopback, TransportKind::kProcess}) {
+    SessionConfig cfg = make_config();
+    cfg.SetShards(2).SetTransport(transport);
+    Expected<Session> sharded = Session::Create(cfg);
+    CHECK(sharded.ok());
+    Session& s = sharded.value();
+    CHECK(s.shards() == 2);
+    CHECK(s.transport() == transport);
+    // A different Step split than the serial session's 3+5.
+    CHECK(s.Step(1).ok());
+    CHECK(s.current_round() == 1);
+    CHECK(s.Step(7).ok());
+    CHECK(s.current_round() == kRounds);
+    const ProtocolResult got = s.Finalize();
+    CHECK(got.server_inbox.size() == want.server_inbox.size());
+    for (size_t i = 0; i < want.server_inbox.size(); ++i) {
+      CHECK(got.server_inbox[i].id == want.server_inbox[i].id);
+      CHECK(got.server_inbox[i].origin == want.server_inbox[i].origin);
+      CHECK(got.server_inbox[i].final_holder ==
+            want.server_inbox[i].final_holder);
+    }
+    // Step-accumulated communication cost: 2 workers, one frame per ordered
+    // pair per round, across both Step calls.
+    const ShardedStats& stats = s.sharded_stats();
+    CHECK(stats.shards == 2);
+    CHECK(stats.rounds == kRounds);
+    CHECK(stats.messages == 2 * 1 * kRounds);
+    CHECK(stats.cross_shard_bytes >= stats.messages * wire::kHeaderBytes);
+    CHECK(stats.MessagesPerRound() == 2.0);
+    std::printf("ok: session shards=2 transport=%s (split-identical)\n",
+                TransportKindName(transport));
+  }
+
+  // shards > 1 + out-of-core storage: the two scaling axes do not compose;
+  // typed kInvalidArgument at Validate AND Create.
+  {
+    SessionConfig cfg = make_config();
+    StorageBackendConfig storage;
+    storage.kind = StorageBackendKind::kMmap;
+    cfg.SetStorage(storage).SetShards(2);
+    const Status v = Session::Validate(cfg);
+    CHECK(!v.ok());
+    CHECK(v.code() == StatusCode::kInvalidArgument);
+    Expected<Session> created = Session::Create(cfg);
+    CHECK(!created.ok());
+    CHECK(created.status().code() == StatusCode::kInvalidArgument);
+    std::printf("ok: shards=2 + mmap storage rejected (kInvalidArgument)\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const LazyFaultModel lazy(0.3);
+  Rng meta(20220808);
+
+  for (TransportKind transport :
+       {TransportKind::kLoopback, TransportKind::kProcess}) {
+    // k-regular: even per-user load, degree class on the pow2 fast path.
+    {
+      Rng gen(meta.Next());
+      const Graph g = MakeRandomRegular(120, 4, &gen);
+      const uint64_t seed = meta.Next();
+      RunCase("k-regular", g, /*rounds=*/6, seed, nullptr, transport);
+      RunCase("k-regular", g, /*rounds=*/6, seed, &lazy, transport);
+    }
+    // Odd population: uneven contiguous shard ranges (121 over 2 and 4).
+    {
+      Rng gen(meta.Next());
+      const Graph g = MakeRandomRegular(121, 4, &gen);
+      RunCase("k-regular-odd", g, /*rounds=*/5, meta.Next(), &lazy, transport);
+    }
+    // Barabasi-Albert: power-law hubs concentrate traffic in one shard.
+    {
+      Rng gen(meta.Next());
+      const Graph g = MakeBarabasiAlbert(150, 3, &gen);
+      const uint64_t seed = meta.Next();
+      RunCase("barabasi-albert", g, /*rounds=*/6, seed, nullptr, transport);
+      RunCase("barabasi-albert", g, /*rounds=*/6, seed, &lazy, transport);
+    }
+    // Star: after one round the hub (shard 0) holds nearly everything, so
+    // almost every report crosses a shard boundary every round.
+    {
+      const Graph g = MakeStar(301);
+      const uint64_t seed = meta.Next();
+      RunCase("star-301", g, /*rounds=*/4, seed, nullptr, transport);
+      RunCase("star-301", g, /*rounds=*/4, seed, &lazy, transport);
+    }
+    // Isolated users (deg == 0 keep-in-place) split across shard borders.
+    {
+      const Graph g = Graph::FromEdges(
+          11, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}, {8, 9}});
+      RunCase("with-isolated", g, /*rounds=*/6, meta.Next(), &lazy, transport);
+    }
+    // Fewer users than requested shards: the clamp (eff = n).
+    {
+      const Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+      RunCase("tiny-n3", g, /*rounds=*/5, meta.Next(), nullptr, transport);
+    }
+    // Single isolated user: the smallest sharded exchange there is.
+    {
+      const Graph g = Graph::FromEdges(1, {});
+      RunCase("single-user", g, /*rounds=*/3, meta.Next(), nullptr, transport);
+    }
+  }
+
+  TestSessionSharded();
+  return 0;
+}

@@ -24,6 +24,14 @@ Rules
               pre-build review.  Names that are ALSO declared with a void
               return anywhere (e.g. Step, BeginEpoch) are skipped as
               ambiguous — the attribute still covers them.
+  wire        Raw memcpy / reinterpret_cast in shuffle/ outside the one
+              sanctioned framing layer, shuffle/wire.h.  Everything that
+              crosses (or could cross) a process boundary goes through
+              wire.h's checked little-endian encode/decode; an ad-hoc
+              struct memcpy is exactly the unchecked, endian-fragile
+              serialization the sharded transport bans.  In-process uses
+              (typed payload columns, heap<->mmap moves, SIMD register
+              stores) carry a justified allow marker.
   tsa-escape  NS_NO_THREAD_SAFETY_ANALYSIS outside util/annotations.h.
               The repo contract is zero escapes: an annotation that will
               not typecheck is a design finding to fix, not to suppress.
@@ -51,7 +59,8 @@ import re
 import sys
 from pathlib import Path
 
-RULES = ("nondet", "narrow32", "nodiscard", "tsa-escape", "marker", "schema")
+RULES = ("nondet", "narrow32", "nodiscard", "wire", "tsa-escape", "marker",
+         "schema")
 
 LIB_DIRS = ("core", "shuffle", "dp", "graph", "estimation", "util", "data")
 NONDET_DIRS = ("shuffle", "dp", "graph")
@@ -71,6 +80,8 @@ NONDET_PATTERNS = (
 )
 
 NARROW_RE = re.compile(r"static_cast<\s*(?:std::)?uint32_t\s*>")
+WIRE_RE = re.compile(r"\bmemcpy\s*\(|\breinterpret_cast\b")
+WIRE_FILE = "shuffle/wire.h"
 MARKER_RE = re.compile(r"ns-lint:\s*allow\(([^)]*)\)(:?)\s*(.*)")
 DECL_RE = re.compile(
     r"(?:^|[;{}]\s*|\s)(?:static\s+)?(Status|Expected<[^;={}()]*>)\s+"
@@ -218,6 +229,13 @@ def lint_file(rel, raw_lines, code_lines, status_names):
                     "raw static_cast<uint32_t> narrowing: use CheckedNarrow32 "
                     "(core/status.h) or justify the bound with an allow "
                     "marker"))
+        if rel.startswith("shuffle/") and rel != WIRE_FILE and \
+                WIRE_RE.search(code) and not allowed(allows, ln, "wire"):
+            findings.append(Finding(
+                rel, ln, "wire",
+                "raw memcpy/reinterpret_cast in shuffle/ outside the "
+                "sanctioned framing layer: serialize through shuffle/wire.h "
+                "or justify the in-process use with an allow marker"))
         if rel != "util/annotations.h" and \
                 "NS_NO_THREAD_SAFETY_ANALYSIS" in code and \
                 not allowed(allows, ln, "tsa-escape"):
